@@ -1,0 +1,359 @@
+// Benchmarks regenerating every table and figure of the HierKNEM paper at a
+// bench-friendly scale (8 nodes instead of 32; cmd/hierbench runs the full
+// 32-node, 768-process configurations).
+//
+// Wall-clock ns/op measures the simulator, not the modeled cluster; the
+// paper's metric is reported via custom units:
+//
+//	virt-us/op  — virtual time of one collective operation
+//	aggMB/s     — the paper's aggregate bandwidth for that operation
+//
+// Run with: go test -bench=. -benchmem
+package hierknem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hierknem"
+	"hierknem/internal/core"
+	"hierknem/internal/imb"
+)
+
+const benchNodes = 8
+
+func benchSpec(cluster string) hierknem.Spec {
+	if cluster == "stremi" {
+		return hierknem.Stremi(benchNodes)
+	}
+	return hierknem.Parapluie(benchNodes)
+}
+
+func fullNP(spec *hierknem.Spec) int { return spec.Nodes * spec.CoresPerNode() }
+
+// report attaches the virtual-time metrics of the last measurement.
+func report(b *testing.B, r imb.Result) {
+	b.ReportMetric(r.AvgTime*1e6, "virt-us/op")
+	b.ReportMetric(r.AggBW/1e6, "aggMB/s")
+}
+
+func benchBcast(b *testing.B, spec hierknem.Spec, mod hierknem.Module, binding string, size int64) {
+	var last imb.Result
+	for i := 0; i < b.N; i++ {
+		w, err := hierknem.NewWorld(spec, binding, fullNP(&spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = hierknem.BenchBcast(w, mod, size, imb.Opts{Iterations: 1, Warmup: 1})
+	}
+	report(b, last)
+}
+
+func benchReduce(b *testing.B, spec hierknem.Spec, mod hierknem.Module, size int64) {
+	var last imb.Result
+	for i := 0; i < b.N; i++ {
+		w, err := hierknem.NewWorld(spec, "bycore", fullNP(&spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = hierknem.BenchReduce(w, mod, size, imb.Opts{Iterations: 1, Warmup: 1})
+	}
+	report(b, last)
+}
+
+func benchAllgather(b *testing.B, spec hierknem.Spec, mod hierknem.Module, binding string, size int64) {
+	var last imb.Result
+	for i := 0; i < b.N; i++ {
+		w, err := hierknem.NewWorld(spec, binding, fullNP(&spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = hierknem.BenchAllgather(w, mod, size, imb.Opts{Iterations: 1, Warmup: 1})
+	}
+	report(b, last)
+}
+
+// BenchmarkFig1PipelineSize sweeps the Broadcast pipeline size (Figure 1):
+// the 64KB row should be the fastest on the InfiniBand personality.
+func BenchmarkFig1PipelineSize(b *testing.B) {
+	spec := benchSpec("parapluie")
+	for _, pl := range []int64{16 << 10, 64 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("pipeline=%dKB", pl>>10), func(b *testing.B) {
+			mod := hierknem.New(core.Options{BcastPipeline: core.FixedPipeline(pl)})
+			benchBcast(b, spec, mod, "bycore", 4<<20)
+		})
+	}
+}
+
+// BenchmarkFig2AllgatherSelection contrasts the two HierKNEM Allgather
+// algorithms at low and high processes-per-node (Figure 2): leader-based is
+// competitive at 2 ppn, the ring dominates at 24 ppn.
+func BenchmarkFig2AllgatherSelection(b *testing.B) {
+	spec := benchSpec("parapluie")
+	for _, alg := range []string{"leader", "ring"} {
+		for _, ppn := range []int{2, 24} {
+			b.Run(fmt.Sprintf("%s/ppn=%d", alg, ppn), func(b *testing.B) {
+				mod := hierknem.New(core.Options{ForceAllgather: alg})
+				var last imb.Result
+				for i := 0; i < b.N; i++ {
+					w, err := hierknem.NewWorldPPN(spec, ppn)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = hierknem.BenchAllgather(w, mod, 512<<10, imb.Opts{Iterations: 1, Warmup: 1})
+				}
+				report(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkFig3Broadcast reproduces the module comparison of Figure 3 on
+// both clusters at a small and a large message size.
+func BenchmarkFig3Broadcast(b *testing.B) {
+	for _, cluster := range []string{"stremi", "parapluie"} {
+		spec := benchSpec(cluster)
+		for _, mod := range hierknem.Lineup(&spec) {
+			for _, size := range []int64{64 << 10, 1 << 20} {
+				b.Run(fmt.Sprintf("%s/%s/%dKB", cluster, mod.Name(), size>>10), func(b *testing.B) {
+					benchBcast(b, spec, mod, "bycore", size)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig4Reduce reproduces Figure 4's Reduce comparison.
+func BenchmarkFig4Reduce(b *testing.B) {
+	for _, cluster := range []string{"stremi", "parapluie"} {
+		spec := benchSpec(cluster)
+		for _, mod := range hierknem.Lineup(&spec) {
+			for _, size := range []int64{64 << 10, 1 << 20} {
+				b.Run(fmt.Sprintf("%s/%s/%dKB", cluster, mod.Name(), size>>10), func(b *testing.B) {
+					benchReduce(b, spec, mod, size)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Allgather reproduces Figure 5 (Hierarch excluded, as in the
+// paper — Open MPI's hierarch has no Allgather).
+func BenchmarkFig5Allgather(b *testing.B) {
+	for _, cluster := range []string{"stremi", "parapluie"} {
+		spec := benchSpec(cluster)
+		mods := hierknem.Lineup(&spec)
+		mods = append(mods[:2:2], mods[3:]...)
+		for _, mod := range mods {
+			b.Run(fmt.Sprintf("%s/%s/128KB", cluster, mod.Name()), func(b *testing.B) {
+				benchAllgather(b, spec, mod, "bycore", 128<<10)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Placement reproduces the binding study of Figure 6:
+// HierKNEM's numbers should barely move between by-core and by-node while
+// Tuned's Allgather collapses.
+func BenchmarkFig6Placement(b *testing.B) {
+	spec := benchSpec("parapluie")
+	mods := []hierknem.Module{hierknem.ForCluster(&spec), hierknem.Tuned(hierknem.Quirks{})}
+	for _, mod := range mods {
+		for _, binding := range []string{"bycore", "bynode"} {
+			b.Run(fmt.Sprintf("bcast/%s/%s", mod.Name(), binding), func(b *testing.B) {
+				benchBcast(b, spec, mod, binding, 1<<20)
+			})
+			b.Run(fmt.Sprintf("allgather/%s/%s", mod.Name(), binding), func(b *testing.B) {
+				benchAllgather(b, spec, mod, binding, 128<<10)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7CoreScaling reproduces Figure 7: 2MB broadcast with a growing
+// number of processes per node at constant node count.
+func BenchmarkFig7CoreScaling(b *testing.B) {
+	for _, cluster := range []string{"stremi", "parapluie"} {
+		spec := benchSpec(cluster)
+		mod := hierknem.ForCluster(&spec)
+		for _, ppn := range []int{2, 12, 24} {
+			b.Run(fmt.Sprintf("%s/ppn=%d", cluster, ppn), func(b *testing.B) {
+				var last imb.Result
+				for i := 0; i < b.N; i++ {
+					w, err := hierknem.NewWorldPPN(spec, ppn)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = hierknem.BenchBcast(w, mod, 2<<20, imb.Opts{Iterations: 1, Warmup: 1})
+				}
+				report(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1PipelineTuning sweeps Reduce pipeline sizes (Table I).
+func BenchmarkTable1PipelineTuning(b *testing.B) {
+	for _, cluster := range []string{"stremi", "parapluie"} {
+		spec := benchSpec(cluster)
+		for _, pl := range []int64{16 << 10, 64 << 10, 1 << 20} {
+			b.Run(fmt.Sprintf("%s/reduce-pl=%dKB", cluster, pl>>10), func(b *testing.B) {
+				mod := hierknem.New(core.Options{ReducePipeline: core.FixedPipeline(pl)})
+				benchReduce(b, spec, mod, 4<<20)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2ASP reproduces the application study at a reduced matrix
+// size (the full N=16384 run is cmd/hierbench -exp table2).
+func BenchmarkTable2ASP(b *testing.B) {
+	spec := hierknem.Stremi(4)
+	np := spec.Nodes * spec.CoresPerNode()
+	for _, mod := range hierknem.Lineup(&spec) {
+		b.Run(mod.Name(), func(b *testing.B) {
+			var res hierknem.ASPResult
+			for i := 0; i < b.N; i++ {
+				w, err := hierknem.NewWorld(spec, "bycore", np)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = hierknem.RunASP(w, mod, 512, 0)
+			}
+			b.ReportMetric(res.Total, "virt-total-s")
+			b.ReportMetric(res.Bcast, "virt-bcast-s")
+			b.ReportMetric(100*res.Bcast/res.Total, "comm%")
+		})
+	}
+}
+
+// BenchmarkExtensionCollectives covers the operations beyond the paper's
+// three: Allreduce, Scatter and Gather, HierKNEM vs the flat Tuned module.
+func BenchmarkExtensionCollectives(b *testing.B) {
+	spec := benchSpec("parapluie")
+	mods := []hierknem.Module{hierknem.ForCluster(&spec), hierknem.Tuned(hierknem.Quirks{})}
+	for _, mod := range mods {
+		b.Run("allreduce/"+mod.Name(), func(b *testing.B) {
+			var last imb.Result
+			for i := 0; i < b.N; i++ {
+				w, err := hierknem.NewWorld(spec, "bycore", fullNP(&spec))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = imb.Allreduce(w, mod, 1<<20, imb.Opts{Iterations: 1, Warmup: 1})
+			}
+			report(b, last)
+		})
+		b.Run("scatter/"+mod.Name(), func(b *testing.B) {
+			var last imb.Result
+			for i := 0; i < b.N; i++ {
+				w, err := hierknem.NewWorld(spec, "bycore", fullNP(&spec))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = imb.Scatter(w, mod, 64<<10, imb.Opts{Iterations: 1, Warmup: 1})
+			}
+			report(b, last)
+		})
+		b.Run("gather/"+mod.Name(), func(b *testing.B) {
+			var last imb.Result
+			for i := 0; i < b.N; i++ {
+				w, err := hierknem.NewWorld(spec, "bycore", fullNP(&spec))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = imb.Gather(w, mod, 64<<10, imb.Opts{Iterations: 1, Warmup: 1})
+			}
+			report(b, last)
+		})
+	}
+}
+
+// BenchmarkTopologyCache quantifies the paper's future-work optimization:
+// caching the topology map at communicator creation.
+func BenchmarkTopologyCache(b *testing.B) {
+	spec := benchSpec("parapluie")
+	for _, cached := range []bool{false, true} {
+		name := "detect-per-call"
+		if cached {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) {
+			mod := hierknem.New(core.Options{CacheTopology: cached, TopoDetectCost: 4e-6})
+			var last imb.Result
+			for i := 0; i < b.N; i++ {
+				w, err := hierknem.NewWorld(spec, "bycore", fullNP(&spec))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = hierknem.BenchBcast(w, mod, 16<<10, imb.Opts{Iterations: 4, Warmup: 1})
+			}
+			report(b, last)
+		})
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out. ---
+
+// BenchmarkAblationOffload isolates KNEM offload + overlap: HierKNEM's
+// broadcast against the same two-level structure without offload or
+// pipelined overlap (the Hierarch module).
+func BenchmarkAblationOffload(b *testing.B) {
+	spec := benchSpec("stremi")
+	for _, mod := range []hierknem.Module{
+		hierknem.ForCluster(&spec),
+		hierknem.Hierarch(hierknem.Quirks{SerializedRing: true}),
+	} {
+		b.Run(mod.Name(), func(b *testing.B) {
+			benchBcast(b, spec, mod, "bycore", 1<<20)
+		})
+	}
+}
+
+// BenchmarkAblationPipeline isolates cross-level pipelining: segmented
+// against whole-message forwarding in HierKNEM's own broadcast.
+func BenchmarkAblationPipeline(b *testing.B) {
+	spec := benchSpec("stremi")
+	for _, cfg := range []struct {
+		name string
+		pl   core.PipelineFunc
+	}{
+		{"pipelined-32KB", core.FixedPipeline(32 << 10)},
+		{"whole-message", core.FixedPipeline(16 << 20)},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			mod := hierknem.New(core.Options{BcastPipeline: cfg.pl})
+			benchBcast(b, spec, mod, "bycore", 4<<20)
+		})
+	}
+}
+
+// BenchmarkAblationTopoRing isolates topology awareness: the physical-order
+// Allgather ring against a rank-ordered one under by-node binding.
+func BenchmarkAblationTopoRing(b *testing.B) {
+	spec := benchSpec("parapluie")
+	for _, cfg := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"physical-order", core.Options{ForceAllgather: "ring"}},
+		{"rank-order", core.Options{ForceAllgather: "ring", RankOrderedRing: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			benchAllgather(b, spec, hierknem.New(cfg.opt), "bynode", 128<<10)
+		})
+	}
+}
+
+// BenchmarkAblationDoubleLeader isolates the double-leader Reduce: the
+// new_comm scheme that frees the 1st leader against the single-leader
+// shared-memory reduction (MVAPICH2 structure, quirk-free).
+func BenchmarkAblationDoubleLeader(b *testing.B) {
+	spec := benchSpec("parapluie")
+	hk := hierknem.New(core.Options{}) // quirk-free for a like-for-like CPU model
+	for _, mod := range []hierknem.Module{hk, hierknem.MVAPICH2()} {
+		b.Run(mod.Name(), func(b *testing.B) {
+			benchReduce(b, spec, mod, 4<<20)
+		})
+	}
+}

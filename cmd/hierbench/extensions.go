@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+
+	"hierknem"
+	"hierknem/internal/core"
+	"hierknem/internal/imb"
+	"hierknem/internal/trace"
+)
+
+// ablation prints the four design-choice ablations DESIGN.md calls out, at
+// full cluster population.
+func ablation(cfg config) {
+	header("Ablations — the framework's design choices in isolation",
+		fmt.Sprintf("%d nodes, full population", cfg.nodes))
+	opts := imb.Opts{Iterations: cfg.iters, Warmup: 1}
+
+	// 1. Offload + overlap: HierKNEM vs the non-offloaded two-level design,
+	// with the measured fraction of intra-node copy time hidden under
+	// inter-node transfers.
+	stremi := clusterSpec("stremi", cfg.nodes)
+	fmt.Println("1. KNEM offload + pipelined overlap (1MB bcast, Ethernet):")
+	for _, mod := range []hierknem.Module{
+		hierknem.ForCluster(&stremi),
+		hierknem.Hierarch(hierknem.Quirks{SerializedRing: true}),
+	} {
+		w := fullWorld(stremi, "bycore")
+		r := hierknem.BenchBcast(w, mod, 1<<20, opts)
+		o := trace.MeasureOverlap(w.Machine)
+		fmt.Printf("   %-22s %10.2f ms   (%.0f%% of copy time hidden under the network)\n",
+			mod.Name(), r.AvgTime*1e3, 100*o.HiddenFraction())
+	}
+
+	// 2. Pipelining: segmented vs whole-message forwarding.
+	fmt.Println("2. Cross-level pipelining (4MB bcast, Ethernet):")
+	for _, c := range []struct {
+		name string
+		pl   core.PipelineFunc
+	}{
+		{"pipelined (32KB)", core.FixedPipeline(32 << 10)},
+		{"whole-message", core.FixedPipeline(16 << 20)},
+	} {
+		mod := hierknem.New(core.Options{BcastPipeline: c.pl})
+		r := hierknem.BenchBcast(fullWorld(stremi, "bycore"), mod, 4<<20, opts)
+		fmt.Printf("   %-22s %10.2f ms\n", c.name, r.AvgTime*1e3)
+	}
+
+	// 3. Topology-aware ring under by-node placement.
+	para := clusterSpec("parapluie", cfg.nodes)
+	fmt.Println("3. Topology-aware ring construction (128KB allgather, by-node, IB):")
+	for _, c := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"physical order", core.Options{ForceAllgather: "ring"}},
+		{"rank order", core.Options{ForceAllgather: "ring", RankOrderedRing: true}},
+	} {
+		r := hierknem.BenchAllgather(fullWorld(para, "bynode"), hierknem.New(c.opt), 128<<10, opts)
+		fmt.Printf("   %-22s %10.2f ms\n", c.name, r.AvgTime*1e3)
+	}
+
+	// 4. Double-leader reduce vs single-leader shared-memory reduce.
+	fmt.Println("4. Double-leader Reduce (4MB, IB, quirk-free comparison):")
+	for _, mod := range []hierknem.Module{
+		hierknem.New(core.Options{}),
+		hierknem.MVAPICH2(),
+	} {
+		r := hierknem.BenchReduce(fullWorld(para, "bycore"), mod, 4<<20, opts)
+		fmt.Printf("   %-22s %10.2f ms\n", mod.Name(), r.AvgTime*1e3)
+	}
+
+	// 5. Topology-map caching (the paper's future work, implemented).
+	fmt.Println("5. Topology-map caching (16KB bcast, IB — section IV-G overhead):")
+	for _, c := range []struct {
+		name  string
+		cache bool
+	}{
+		{"detect every call", false},
+		{"cached at comm creation", true},
+	} {
+		mod := hierknem.New(core.Options{CacheTopology: c.cache, TopoDetectCost: 4e-6})
+		r := hierknem.BenchBcast(fullWorld(para, "bycore"), mod, 16<<10, opts)
+		fmt.Printf("   %-22s %10.1f us\n", c.name, r.AvgTime*1e6)
+	}
+}
+
+// extensions prints the extension collectives (Scatter, Gather, Allreduce)
+// across the full lineup — operations a production HierKNEM release ships
+// beyond the paper's three.
+func extensions(cfg config) {
+	for _, cluster := range []string{"stremi", "parapluie"} {
+		spec := clusterSpec(cluster, cfg.nodes)
+		header("Extension collectives — "+cluster,
+			fmt.Sprintf("%d nodes, %d processes, by-core", cfg.nodes, cfg.nodes*spec.CoresPerNode()))
+		opts := imb.Opts{Iterations: cfg.iters, Warmup: 1}
+		ops := []struct {
+			name  string
+			bytes int64
+			run   func(w *hierknem.World, mod hierknem.Module) imb.Result
+		}{
+			{"allreduce 1MB", 1 << 20, func(w *hierknem.World, mod hierknem.Module) imb.Result {
+				return imb.Allreduce(w, mod, 1<<20, opts)
+			}},
+			{"scatter 64KB/rank", 64 << 10, func(w *hierknem.World, mod hierknem.Module) imb.Result {
+				return imb.Scatter(w, mod, 64<<10, opts)
+			}},
+			{"gather 64KB/rank", 64 << 10, func(w *hierknem.World, mod hierknem.Module) imb.Result {
+				return imb.Gather(w, mod, 64<<10, opts)
+			}},
+		}
+		fmt.Printf("%-12s", "module")
+		for _, op := range ops {
+			fmt.Printf("%20s", op.name)
+		}
+		fmt.Println("   (avg ms)")
+		for _, mod := range hierknem.Lineup(&spec) {
+			fmt.Printf("%-12s", mod.Name())
+			for _, op := range ops {
+				r := op.run(fullWorld(spec, "bycore"), mod)
+				fmt.Printf("%20.2f", r.AvgTime*1e3)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+
+	"hierknem"
+	"hierknem/internal/core"
+	"hierknem/internal/imb"
+)
+
+// fig1: effect of pipeline size on the HierKNEM Broadcast, Parapluie, full
+// population. Runtime normalized to the 64KB pipeline (smaller is better).
+func fig1(cfg config) {
+	spec := clusterSpec("parapluie", cfg.nodes)
+	header("Figure 1 — Pipeline size vs HierKNEM Bcast runtime",
+		fmt.Sprintf("parapluie, %d nodes, %d processes; normalized to 64KB pipeline", cfg.nodes, cfg.nodes*spec.CoresPerNode()))
+	pipelines := []int64{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10}
+	msgs := []int64{1 << 20, 4 << 20, 8 << 20}
+
+	times := map[int64]map[int64]float64{}
+	for _, msg := range msgs {
+		times[msg] = map[int64]float64{}
+		for _, pl := range pipelines {
+			w := fullWorld(spec, "bycore")
+			mod := hierknem.New(core.Options{BcastPipeline: core.FixedPipeline(pl)})
+			r := hierknem.BenchBcast(w, mod, msg, imb.Opts{Iterations: cfg.iters, Warmup: 1, RotateRoot: true})
+			times[msg][pl] = r.AvgTime
+		}
+	}
+	fmt.Printf("%-10s", "message")
+	for _, pl := range pipelines {
+		fmt.Printf("%10s", sizeLabel(pl))
+	}
+	fmt.Println("   (t_pipeline / t_64KB)")
+	for _, msg := range msgs {
+		fmt.Printf("%-10s", sizeLabel(msg))
+		base := times[msg][64<<10]
+		for _, pl := range pipelines {
+			fmt.Printf("%10.2f", times[msg][pl]/base)
+		}
+		fmt.Println()
+	}
+}
+
+// fig2: leader-based vs ring Allgather bandwidth while growing processes
+// per node, Parapluie, 512KB messages.
+func fig2(cfg config) {
+	spec := clusterSpec("parapluie", cfg.nodes)
+	header("Figure 2 — Leader-based vs Ring Allgather",
+		fmt.Sprintf("parapluie, %d nodes, 512KB per-rank, 2..24 processes/node", cfg.nodes))
+	ppns := []int{2, 4, 6, 8, 12, 16, 20, 24}
+	fmt.Printf("%-14s", "ppn")
+	for _, ppn := range ppns {
+		fmt.Printf("%10d", ppn)
+	}
+	fmt.Println("   (aggregate bandwidth, MB/s)")
+	for _, alg := range []string{"leader", "ring"} {
+		fmt.Printf("%-14s", alg)
+		for _, ppn := range ppns {
+			w, err := hierknem.NewWorldPPN(spec, ppn)
+			if err != nil {
+				panic(err)
+			}
+			mod := hierknem.New(core.Options{ForceAllgather: alg})
+			r := hierknem.BenchAllgather(w, mod, 512<<10, imb.Opts{Iterations: cfg.iters, Warmup: 1})
+			fmt.Printf("%10.0f", r.AggBW/1e6)
+		}
+		fmt.Println()
+	}
+}
+
+var figSizesBcast = []int64{8 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20}
+var figSizesReduce = []int64{2 << 10, 8 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20, 8 << 20}
+
+// figSizesAllgather: the paper sweeps 8 KB-1 MB per rank; we decimate to two
+// representative points because 768-rank ring simulations cost the most
+// wall time of the whole suite (cmd/imb sweeps any range on demand).
+var figSizesAllgather = []int64{64 << 10, 256 << 10}
+
+// fig3: aggregate Broadcast bandwidth across modules.
+func fig3(cfg config, cluster string) {
+	spec := clusterSpec(cluster, cfg.nodes)
+	sub := map[string]string{"stremi": "a", "parapluie": "b"}[cluster]
+	header("Figure 3("+sub+") — Aggregate Broadcast bandwidth",
+		fmt.Sprintf("%s, %d nodes, %d processes, by-core", cluster, cfg.nodes, cfg.nodes*spec.CoresPerNode()))
+	runOpMatrix(cfg, spec, "bcast", figSizesBcast)
+}
+
+// fig4: aggregate Reduce bandwidth across modules.
+func fig4(cfg config, cluster string) {
+	spec := clusterSpec(cluster, cfg.nodes)
+	sub := map[string]string{"stremi": "a", "parapluie": "b"}[cluster]
+	header("Figure 4("+sub+") — Aggregate Reduce bandwidth",
+		fmt.Sprintf("%s, %d nodes, %d processes, by-core", cluster, cfg.nodes, cfg.nodes*spec.CoresPerNode()))
+	runOpMatrix(cfg, spec, "reduce", figSizesReduce)
+}
+
+// fig5: aggregate Allgather bandwidth across modules (no Hierarch: Open MPI
+// does not implement one, exactly as in the paper).
+func fig5(cfg config, cluster string) {
+	spec := clusterSpec(cluster, cfg.nodes)
+	sub := map[string]string{"stremi": "a", "parapluie": "b"}[cluster]
+	header("Figure 5("+sub+") — Aggregate Allgather bandwidth",
+		fmt.Sprintf("%s, %d nodes, %d processes, by-core (per-rank sizes)", cluster, cfg.nodes, cfg.nodes*spec.CoresPerNode()))
+	runOpMatrix(cfg, spec, "allgather", figSizesAllgather)
+}
+
+func runOpMatrix(cfg config, spec hierknem.Spec, op string, sizes []int64) {
+	mods := hierknem.Lineup(&spec)
+	if op == "allgather" {
+		// Drop Hierarch (index 2): not implemented in Open MPI either.
+		mods = append(mods[:2:2], mods[3:]...)
+	}
+	var names []string
+	cells := map[string]map[int64]imb.Result{}
+	for _, mod := range mods {
+		names = append(names, mod.Name())
+		cells[mod.Name()] = map[int64]imb.Result{}
+		for _, s := range sizes {
+			w := fullWorld(spec, "bycore")
+			var r imb.Result
+			switch op {
+			case "bcast":
+				r = hierknem.BenchBcast(w, mod, s, imb.Opts{Iterations: cfg.iters, Warmup: 1, RotateRoot: true})
+			case "reduce":
+				r = hierknem.BenchReduce(w, mod, s, imb.Opts{Iterations: cfg.iters, Warmup: 1, RotateRoot: true})
+			case "allgather":
+				r = hierknem.BenchAllgather(w, mod, s, imb.Opts{Iterations: cfg.iters, Warmup: -1})
+			}
+			cells[mod.Name()][s] = r
+		}
+	}
+	printMatrix(sizes, names, cells)
+	ratioLine(names, sizes, cells)
+}
+
+// fig6: impact of the process-core binding (by-core vs by-node), Parapluie.
+func fig6(cfg config, op string) {
+	spec := clusterSpec("parapluie", cfg.nodes)
+	sub := map[string]string{"bcast": "a", "allgather": "b"}[op]
+	header("Figure 6("+sub+") — Process placement impact on "+op,
+		fmt.Sprintf("parapluie, %d nodes, %d processes, by-core vs by-node", cfg.nodes, cfg.nodes*spec.CoresPerNode()))
+	sizes := figSizesAllgather
+	if op == "bcast" {
+		sizes = []int64{16 << 10, 128 << 10, 1 << 20, 4 << 20}
+	}
+	mods := hierknem.Lineup(&spec)
+	// The paper trims Hierarch from this figure.
+	mods = append(mods[:2:2], mods[3:]...)
+
+	fmt.Printf("%-22s", "module/binding")
+	for _, s := range sizes {
+		fmt.Printf("%12s", sizeLabel(s))
+	}
+	fmt.Println("   (aggregate bandwidth, MB/s)")
+	for _, mod := range mods {
+		for _, binding := range []string{"bycore", "bynode"} {
+			fmt.Printf("%-22s", mod.Name()+"/"+binding)
+			for _, s := range sizes {
+				w := fullWorld(spec, binding)
+				var r imb.Result
+				if op == "bcast" {
+					r = hierknem.BenchBcast(w, mod, s, imb.Opts{Iterations: cfg.iters, Warmup: 1, RotateRoot: true})
+				} else {
+					r = hierknem.BenchAllgather(w, mod, s, imb.Opts{Iterations: cfg.iters, Warmup: -1})
+				}
+				fmt.Printf("%12.0f", r.AggBW/1e6)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// fig7: cores-per-node scalability of the 2MB Broadcast at fixed node count.
+func fig7(cfg config, cluster string) {
+	spec := clusterSpec(cluster, cfg.nodes)
+	sub := map[string]string{"stremi": "a", "parapluie": "b"}[cluster]
+	header("Figure 7("+sub+") — Cores-per-node scalability, 2MB Bcast",
+		fmt.Sprintf("%s, %d nodes, 1..24 processes/node", cluster, cfg.nodes))
+	ppns := []int{1, 2, 4, 8, 12, 16, 20, 24}
+	mods := hierknem.Lineup(&spec)
+	fmt.Printf("%-12s", "module\\ppn")
+	for _, ppn := range ppns {
+		fmt.Printf("%10d", ppn)
+	}
+	fmt.Println("   (aggregate bandwidth, MB/s)")
+	for _, mod := range mods {
+		fmt.Printf("%-12s", mod.Name())
+		for _, ppn := range ppns {
+			w, err := hierknem.NewWorldPPN(spec, ppn)
+			if err != nil {
+				panic(err)
+			}
+			r := hierknem.BenchBcast(w, mod, 2<<20, imb.Opts{Iterations: cfg.iters, Warmup: 1, RotateRoot: true})
+			fmt.Printf("%10.0f", r.AggBW/1e6)
+		}
+		fmt.Println()
+	}
+}

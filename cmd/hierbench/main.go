@@ -1,0 +1,153 @@
+// Command hierbench regenerates every figure and table of the HierKNEM
+// paper's evaluation (IPDPS 2012) on the simulated clusters.
+//
+// Usage:
+//
+//	hierbench -exp fig3a            # one experiment
+//	hierbench -exp all              # the whole evaluation
+//	hierbench -exp fig7b -nodes 16  # scaled-down cluster
+//
+// Experiments: fig1, fig2, fig3a, fig3b, fig4a, fig4b, fig5a, fig5b,
+// fig6a, fig6b, fig7a, fig7b, table1, table2, ablation, extensions, all.
+//
+// The simulator reports virtual time; the paper's qualitative shapes (who
+// wins, by what factor, where crossovers fall) are the reproduction target,
+// not absolute microseconds. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hierknem"
+	"hierknem/internal/imb"
+)
+
+type config struct {
+	nodes  int
+	iters  int
+	aspN   int
+	aspDim int // nodes used for the ASP study
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (fig1..fig7b, table1, table2, all)")
+	nodes := flag.Int("nodes", 32, "cluster node count (paper: 32)")
+	iters := flag.Int("iters", 3, "timed iterations per data point")
+	aspN := flag.Int("asp-n", 2048, "ASP matrix dimension (paper: 16384/32768)")
+	aspNodes := flag.Int("asp-nodes", 8, "nodes for the ASP study (paper: 32)")
+	flag.Parse()
+
+	cfg := config{nodes: *nodes, iters: *iters, aspN: *aspN, aspDim: *aspNodes}
+
+	experiments := map[string]func(config){
+		"fig1":       fig1,
+		"fig2":       fig2,
+		"fig3a":      func(c config) { fig3(c, "stremi") },
+		"fig3b":      func(c config) { fig3(c, "parapluie") },
+		"fig4a":      func(c config) { fig4(c, "stremi") },
+		"fig4b":      func(c config) { fig4(c, "parapluie") },
+		"fig5a":      func(c config) { fig5(c, "stremi") },
+		"fig5b":      func(c config) { fig5(c, "parapluie") },
+		"fig6a":      func(c config) { fig6(c, "bcast") },
+		"fig6b":      func(c config) { fig6(c, "allgather") },
+		"fig7a":      func(c config) { fig7(c, "stremi") },
+		"fig7b":      func(c config) { fig7(c, "parapluie") },
+		"table1":     table1,
+		"table2":     table2,
+		"ablation":   ablation,
+		"extensions": extensions,
+	}
+
+	if *exp == "all" {
+		ids := make([]string, 0, len(experiments))
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			experiments[id](cfg)
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: fig1..fig7b, table1, table2, all\n", *exp)
+		os.Exit(2)
+	}
+	fn(cfg)
+}
+
+// clusterSpec resolves a cluster name to its spec.
+func clusterSpec(name string, nodes int) hierknem.Spec {
+	switch name {
+	case "stremi":
+		return hierknem.Stremi(nodes)
+	case "parapluie":
+		return hierknem.Parapluie(nodes)
+	default:
+		panic("unknown cluster " + name)
+	}
+}
+
+func fullWorld(spec hierknem.Spec, binding string) *hierknem.World {
+	np := spec.Nodes * spec.CoresPerNode()
+	w, err := hierknem.NewWorld(spec, binding, np)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func header(title, setup string) {
+	fmt.Printf("\n== %s ==\n   %s\n", title, setup)
+}
+
+func sizeLabel(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// printMatrix renders rows of aggregate bandwidth (MB/s) per module x size.
+func printMatrix(sizes []int64, names []string, cells map[string]map[int64]imb.Result) {
+	fmt.Printf("%-12s", "module")
+	for _, s := range sizes {
+		fmt.Printf("%12s", sizeLabel(s))
+	}
+	fmt.Println("   (aggregate bandwidth, MB/s)")
+	for _, name := range names {
+		fmt.Printf("%-12s", name)
+		for _, s := range sizes {
+			r := cells[name][s]
+			fmt.Printf("%12.0f", r.AggBW/1e6)
+		}
+		fmt.Println()
+	}
+}
+
+func ratioLine(names []string, sizes []int64, cells map[string]map[int64]imb.Result) {
+	if len(names) < 2 {
+		return
+	}
+	fmt.Printf("%-12s", "hk-speedup")
+	for _, s := range sizes {
+		hk := cells[names[0]][s].AvgTime
+		worst := 0.0
+		for _, n := range names[1:] {
+			if t := cells[n][s].AvgTime; t > worst {
+				worst = t
+			}
+		}
+		fmt.Printf("%11.1fx", worst/hk)
+	}
+	fmt.Println("   (vs slowest baseline)")
+}

@@ -1,0 +1,100 @@
+// Command imb is an IMB-3.2-style micro-benchmark driver for the simulated
+// cluster: size sweeps per collective operation, printed in the familiar
+// IMB table format (plus the paper's aggregate-bandwidth column).
+//
+// Usage:
+//
+//	imb                               # all ops, default sweep, Parapluie
+//	imb -op bcast -cluster stremi     # one op on the Ethernet cluster
+//	imb -module tuned -np 192         # one baseline at a custom scale
+//	imb -min 1024 -max 4194304        # custom size range
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hierknem"
+	"hierknem/internal/imb"
+)
+
+func main() {
+	cluster := flag.String("cluster", "parapluie", "stremi or parapluie")
+	nodes := flag.Int("nodes", 8, "cluster nodes (paper: 32)")
+	np := flag.Int("np", 0, "processes (default: all cores)")
+	binding := flag.String("binding", "bycore", "bycore or bynode")
+	moduleName := flag.String("module", "hierknem", "hierknem, tuned, hierarch, mpich2, mvapich2")
+	opList := flag.String("op", "bcast,reduce,allgather,allreduce,scatter,gather", "comma-separated ops")
+	minSize := flag.Int64("min", 1<<10, "smallest message size (bytes)")
+	maxSize := flag.Int64("max", 4<<20, "largest message size (bytes)")
+	iters := flag.Int("iters", 3, "timed iterations per size")
+	flag.Parse()
+
+	var spec hierknem.Spec
+	switch *cluster {
+	case "stremi":
+		spec = hierknem.Stremi(*nodes)
+	case "parapluie":
+		spec = hierknem.Parapluie(*nodes)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown cluster %q\n", *cluster)
+		os.Exit(2)
+	}
+	if *np == 0 {
+		*np = spec.Nodes * spec.CoresPerNode()
+	}
+
+	var mod hierknem.Module
+	for _, m := range hierknem.Lineup(&spec) {
+		if m.Name() == *moduleName {
+			mod = m
+		}
+	}
+	if mod == nil {
+		fmt.Fprintf(os.Stderr, "module %q not in this cluster's lineup\n", *moduleName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("#----------------------------------------------------------------\n")
+	fmt.Printf("# Simulated Intel MPI Benchmarks (hierknem reproduction)\n")
+	fmt.Printf("# cluster: %s (%d nodes), module: %s, %d processes, %s binding\n",
+		spec.Name, spec.Nodes, mod.Name(), *np, *binding)
+	fmt.Printf("#----------------------------------------------------------------\n")
+
+	opts := imb.Opts{Iterations: *iters, Warmup: 1, RotateRoot: true}
+	for _, op := range strings.Split(*opList, ",") {
+		op = strings.TrimSpace(op)
+		fmt.Printf("\n# Benchmarking %s\n", op)
+		fmt.Printf("%12s %10s %12s %12s %12s %14s\n",
+			"#bytes", "#reps", "t_min[us]", "t_max[us]", "t_avg[us]", "aggBW[MB/s]")
+		for size := *minSize; size <= *maxSize; size *= 2 {
+			w, err := hierknem.NewWorld(spec, *binding, *np)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			var r imb.Result
+			switch op {
+			case "bcast":
+				r = imb.Bcast(w, mod, size, opts)
+			case "reduce":
+				r = imb.Reduce(w, mod, size, opts)
+			case "allgather":
+				r = imb.Allgather(w, mod, size, opts)
+			case "allreduce":
+				r = imb.Allreduce(w, mod, size, opts)
+			case "scatter":
+				r = imb.Scatter(w, mod, size, opts)
+			case "gather":
+				r = imb.Gather(w, mod, size, opts)
+			default:
+				fmt.Fprintf(os.Stderr, "unknown op %q\n", op)
+				os.Exit(2)
+			}
+			fmt.Printf("%12d %10d %12.2f %12.2f %12.2f %14.1f\n",
+				r.Bytes, r.Iterations, r.MinTime*1e6, r.MaxTime*1e6, r.AvgTime*1e6, r.AggBW/1e6)
+		}
+	}
+}

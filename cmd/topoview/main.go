@@ -1,0 +1,82 @@
+// Command topoview inspects the simulated hardware and the process-core
+// bindings HierKNEM's topology-aware algorithms are built on: per-node rank
+// groups, leader selection, the physical-order logical ring and its
+// cross-node edge count under each binding.
+//
+// Usage:
+//
+//	topoview -nodes 4 -np 24 -binding bynode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hierknem"
+	"hierknem/internal/topology"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	np := flag.Int("np", 0, "processes (default: all cores)")
+	binding := flag.String("binding", "bycore", "bycore or bynode")
+	cluster := flag.String("cluster", "parapluie", "stremi or parapluie")
+	flag.Parse()
+
+	var spec hierknem.Spec
+	if *cluster == "stremi" {
+		spec = hierknem.Stremi(*nodes)
+	} else {
+		spec = hierknem.Parapluie(*nodes)
+	}
+	m, err := topology.Build(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *np == 0 {
+		*np = spec.TotalCores()
+	}
+	var b *topology.Binding
+	switch *binding {
+	case "bycore":
+		b, err = topology.ByCore(m, *np)
+	case "bynode":
+		b, err = topology.ByNode(m, *np)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown binding %q\n", *binding)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("cluster %s: %d nodes x %d sockets x %d cores = %d cores\n",
+		spec.Name, spec.Nodes, spec.SocketsPerNode, spec.CoresPerSocket, spec.TotalCores())
+	fmt.Printf("network: %.0f MB/s, %.0f us latency; mem %.1f GB/s per socket, core copy %.1f GB/s\n",
+		spec.NetBandwidth/1e6, spec.NetLatency*1e6, spec.MemBandwidth/1e9, spec.CoreCopyBandwidth/1e9)
+	fmt.Printf("binding %s: %d processes\n\n", b.Name, b.NP())
+
+	groups := b.RanksByNode(m)
+	leaders := b.Leaders(m)
+	fmt.Println("per-node rank groups (leader first):")
+	for node, ranks := range groups {
+		if len(ranks) == 0 {
+			continue
+		}
+		fmt.Printf("  node %2d: %v\n", node, ranks)
+	}
+	fmt.Printf("\nleaders: %v\n", leaders)
+
+	rankOrder := make([]int, b.NP())
+	for i := range rankOrder {
+		rankOrder[i] = i
+	}
+	phys := b.PhysicalOrder(m)
+	fmt.Printf("\nlogical rings (ring edges crossing nodes):\n")
+	fmt.Printf("  rank-ordered ring:     %3d cross-node edges\n", topology.CrossNodeEdges(m, b, rankOrder))
+	fmt.Printf("  physical-order ring:   %3d cross-node edges (HierKNEM)\n", topology.CrossNodeEdges(m, b, phys))
+	fmt.Printf("  physical order: %v\n", phys)
+}

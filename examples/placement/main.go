@@ -1,0 +1,44 @@
+// Placement: the paper's Figure 6 in miniature. Process placement (by-core
+// vs by-node) devastates topology-unaware collectives — a rank-ordered ring
+// under by-node binding pushes every edge across the network — while
+// HierKNEM rebuilds its logical topology from physical positions and barely
+// notices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hierknem"
+	"hierknem/internal/imb"
+)
+
+func main() {
+	spec := hierknem.Parapluie(8)
+	np := spec.Nodes * spec.CoresPerNode()
+	const block = 256 << 10 // per-rank allgather contribution
+
+	mods := []hierknem.Module{
+		hierknem.ForCluster(&spec),
+		hierknem.Tuned(hierknem.Quirks{}),
+	}
+
+	fmt.Printf("Allgather of %d KB per rank, %d ranks on %d nodes\n\n", block>>10, np, spec.Nodes)
+	fmt.Printf("%-10s %14s %14s %10s\n", "module", "bycore (us)", "bynode (us)", "penalty")
+	for _, mod := range mods {
+		times := map[string]float64{}
+		for _, binding := range []string{"bycore", "bynode"} {
+			w, err := hierknem.NewWorld(spec, binding, np)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r := hierknem.BenchAllgather(w, mod, block, imb.Opts{Iterations: 3, Warmup: 1})
+			times[binding] = r.AvgTime
+		}
+		fmt.Printf("%-10s %14.1f %14.1f %9.2fx\n",
+			mod.Name(), times["bycore"]*1e6, times["bynode"]*1e6, times["bynode"]/times["bycore"])
+	}
+	fmt.Println("\nHierKNEM's ring follows physical distance, so only one edge per node")
+	fmt.Println("crosses the network under either binding; the rank-ordered ring sends")
+	fmt.Println("every block across the wire when ranks are interleaved by node.")
+}

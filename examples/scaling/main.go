@@ -1,0 +1,43 @@
+// Scaling: the paper's Figure 7 in miniature. On a slow network (Gigabit
+// Ethernet) HierKNEM's broadcast time is bounded by inter-node forwarding:
+// intra-node distribution is offloaded to non-leader cores and fully
+// overlapped, so adding cores per node adds aggregate bandwidth for free —
+// until the intra-node pipe itself becomes the bottleneck on fast networks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hierknem"
+	"hierknem/internal/imb"
+)
+
+func main() {
+	const size = 2 << 20 // 2MB broadcast, as in Figure 7
+	for _, cluster := range []string{"stremi (GigE)", "parapluie (IB 20G)"} {
+		var spec hierknem.Spec
+		if cluster[0] == 's' {
+			spec = hierknem.Stremi(8)
+		} else {
+			spec = hierknem.Parapluie(8)
+		}
+		mod := hierknem.ForCluster(&spec)
+		fmt.Printf("%s — 2MB HierKNEM broadcast, %d nodes:\n", cluster, spec.Nodes)
+		fmt.Printf("  %6s %14s %18s\n", "ppn", "time (ms)", "agg BW (MB/s)")
+		var base float64
+		for _, ppn := range []int{1, 2, 4, 8, 12, 16, 24} {
+			w, err := hierknem.NewWorldPPN(spec, ppn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r := hierknem.BenchBcast(w, mod, size, imb.Opts{Iterations: 3, Warmup: 1})
+			if ppn == 1 {
+				base = r.AvgTime
+			}
+			fmt.Printf("  %6d %14.2f %18.0f   (time vs 1 ppn: %.2fx)\n",
+				ppn, r.AvgTime*1e3, r.AggBW/1e6, r.AvgTime/base)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,106 @@
+package hierknem_test
+
+import (
+	"testing"
+
+	"hierknem"
+	"hierknem/internal/buffer"
+	"hierknem/internal/imb"
+)
+
+func TestFacadeClusterPresets(t *testing.T) {
+	s := hierknem.Stremi(32)
+	p := hierknem.Parapluie(32)
+	if s.TotalCores() != 768 || p.TotalCores() != 768 {
+		t.Fatal("paper clusters should have 768 cores")
+	}
+}
+
+func TestFacadeWorldConstruction(t *testing.T) {
+	spec := hierknem.Parapluie(2)
+	w, err := hierknem.NewWorld(spec, "bycore", 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 48 {
+		t.Fatalf("size = %d", w.Size())
+	}
+	wp, err := hierknem.NewWorldPPN(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp.Size() != 6 {
+		t.Fatalf("ppn world size = %d, want 6", wp.Size())
+	}
+	if _, err := hierknem.NewWorldPPN(spec, 100); err == nil {
+		t.Fatal("accepted ppn > cores per node")
+	}
+}
+
+func TestFacadeLineupAndModules(t *testing.T) {
+	spec := hierknem.Stremi(2)
+	if got := len(hierknem.Lineup(&spec)); got != 4 {
+		t.Fatalf("lineup size = %d", got)
+	}
+	if hierknem.ForCluster(&spec).Name() != "hierknem" {
+		t.Fatal("ForCluster should build the hierknem module")
+	}
+	if hierknem.Tuned(hierknem.Quirks{}).Name() != "tuned" {
+		t.Fatal("Tuned constructor broken")
+	}
+}
+
+func TestFacadeEndToEndCollective(t *testing.T) {
+	spec := hierknem.Parapluie(2)
+	w, err := hierknem.NewWorld(spec, "bycore", 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := hierknem.ForCluster(&spec)
+	payload := []byte("through the facade")
+	bad := 0
+	err = w.Run(func(p *hierknem.Proc) {
+		c := w.WorldComm()
+		buf := buffer.NewReal(make([]byte, len(payload)))
+		if c.Rank(p) == 5 {
+			copy(buf.Data(), payload)
+		}
+		mod.Bcast(p, c, buf, 5)
+		if string(buf.Data()) != string(payload) {
+			bad++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d ranks wrong", bad)
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	spec := hierknem.Parapluie(2)
+	mod := hierknem.ForCluster(&spec)
+	opts := imb.Opts{Iterations: 2, Warmup: 1}
+	w1, _ := hierknem.NewWorld(spec, "bycore", 48)
+	if r := hierknem.BenchBcast(w1, mod, 64<<10, opts); r.AvgTime <= 0 {
+		t.Fatalf("bcast bench: %+v", r)
+	}
+	w2, _ := hierknem.NewWorld(spec, "bycore", 48)
+	if r := hierknem.BenchReduce(w2, mod, 64<<10, opts); r.AvgTime <= 0 {
+		t.Fatalf("reduce bench: %+v", r)
+	}
+	w3, _ := hierknem.NewWorld(spec, "bycore", 48)
+	if r := hierknem.BenchAllgather(w3, mod, 16<<10, opts); r.AvgTime <= 0 {
+		t.Fatalf("allgather bench: %+v", r)
+	}
+}
+
+func TestFacadeASP(t *testing.T) {
+	spec := hierknem.Stremi(2)
+	w, _ := hierknem.NewWorld(spec, "bycore", 48)
+	res := hierknem.RunASP(w, hierknem.ForCluster(&spec), 192, 0)
+	if res.Total <= 0 || res.Bcast <= 0 || res.Bcast > res.Total {
+		t.Fatalf("asp result: %+v", res)
+	}
+}

@@ -1,0 +1,3 @@
+module hierknem
+
+go 1.22

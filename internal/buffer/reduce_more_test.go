@@ -1,0 +1,141 @@
+package buffer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceFloat32(t *testing.T) {
+	mk := func(v []float32) *Buffer {
+		data := make([]byte, 4*len(v))
+		b := NewReal(data)
+		for i, x := range v {
+			bits := math.Float32bits(x)
+			data[4*i] = byte(bits)
+			data[4*i+1] = byte(bits >> 8)
+			data[4*i+2] = byte(bits >> 16)
+			data[4*i+3] = byte(bits >> 24)
+		}
+		return b
+	}
+	rd := func(b *Buffer, i int) float32 {
+		d := b.Data()
+		bits := uint32(d[4*i]) | uint32(d[4*i+1])<<8 | uint32(d[4*i+2])<<16 | uint32(d[4*i+3])<<24
+		return math.Float32frombits(bits)
+	}
+	dst := mk([]float32{1.5, -2})
+	src := mk([]float32{2.5, 8})
+	Reduce(OpSum, Float32, dst, src)
+	if rd(dst, 0) != 4 || rd(dst, 1) != 6 {
+		t.Fatalf("float32 sum = %v, %v", rd(dst, 0), rd(dst, 1))
+	}
+	dst2 := mk([]float32{3, 4})
+	src2 := mk([]float32{5, 2})
+	Reduce(OpMax, Float32, dst2, src2)
+	if rd(dst2, 0) != 5 || rd(dst2, 1) != 4 {
+		t.Fatalf("float32 max = %v, %v", rd(dst2, 0), rd(dst2, 1))
+	}
+}
+
+func TestReduceInt32(t *testing.T) {
+	mk := func(v []int32) *Buffer {
+		data := make([]byte, 4*len(v))
+		for i, x := range v {
+			u := uint32(x)
+			data[4*i] = byte(u)
+			data[4*i+1] = byte(u >> 8)
+			data[4*i+2] = byte(u >> 16)
+			data[4*i+3] = byte(u >> 24)
+		}
+		return NewReal(data)
+	}
+	rd := func(b *Buffer, i int) int32 {
+		d := b.Data()
+		return int32(uint32(d[4*i]) | uint32(d[4*i+1])<<8 | uint32(d[4*i+2])<<16 | uint32(d[4*i+3])<<24)
+	}
+	dst := mk([]int32{-5, 1 << 20})
+	src := mk([]int32{3, 1 << 20})
+	Reduce(OpSum, Int32, dst, src)
+	if rd(dst, 0) != -2 || rd(dst, 1) != 1<<21 {
+		t.Fatalf("int32 sum = %v, %v", rd(dst, 0), rd(dst, 1))
+	}
+	dstm := mk([]int32{-5, 9})
+	srcm := mk([]int32{-7, 12})
+	Reduce(OpMin, Int32, dstm, srcm)
+	if rd(dstm, 0) != -7 || rd(dstm, 1) != 9 {
+		t.Fatalf("int32 min = %v, %v", rd(dstm, 0), rd(dstm, 1))
+	}
+}
+
+func TestReduceProdFloat64(t *testing.T) {
+	dst := Float64s([]float64{2, -3, 0.5})
+	src := Float64s([]float64{4, 2, 8})
+	Reduce(OpProd, Float64, dst, src)
+	got := AsFloat64s(dst)
+	want := []float64{8, -6, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prod = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: reduction operators are commutative over int64 buffers:
+// op(a, b) == op(b, a) elementwise.
+func TestQuickReduceCommutative(t *testing.T) {
+	f := func(a, b []int64, opSel uint8) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		op := []Op{OpSum, OpProd, OpMax, OpMin}[opSel%4]
+
+		ab := Int64s(append([]int64(nil), a...))
+		Reduce(op, Int64, ab, Int64s(b))
+		ba := Int64s(append([]int64(nil), b...))
+		Reduce(op, Int64, ba, Int64s(a))
+		x, y := AsInt64s(ab), AsInt64s(ba)
+		for i := 0; i < n; i++ {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max/min are idempotent: op(a, a) == a.
+func TestQuickReduceIdempotent(t *testing.T) {
+	f := func(a []int64, useMax bool) bool {
+		op := OpMin
+		if useMax {
+			op = OpMax
+		}
+		dst := Int64s(append([]int64(nil), a...))
+		Reduce(op, Int64, dst, Int64s(a))
+		got := AsInt64s(dst)
+		for i := range a {
+			if got[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteSumWraps(t *testing.T) {
+	dst := NewReal([]byte{250})
+	src := NewReal([]byte{10})
+	Reduce(OpSum, Byte, dst, src)
+	if dst.Data()[0] != 4 { // 260 mod 256
+		t.Fatalf("byte sum = %d, want 4 (wraparound)", dst.Data()[0])
+	}
+}

@@ -1,0 +1,115 @@
+package clusters
+
+import (
+	"testing"
+
+	"hierknem/internal/imb"
+)
+
+func TestSpecsMatchPaperHardware(t *testing.T) {
+	s := Stremi(32)
+	if s.Nodes != 32 || s.SocketsPerNode != 2 || s.CoresPerSocket != 12 {
+		t.Fatalf("stremi shape: %+v", s)
+	}
+	if s.CoresPerNode() != 24 || s.TotalCores() != 768 {
+		t.Fatalf("stremi core counts wrong")
+	}
+	if s.L3Size != 12<<20 {
+		t.Fatalf("L3 = %d, want 12MB (Opteron 6164 HE)", s.L3Size)
+	}
+	p := Parapluie(32)
+	if p.NetBandwidth <= s.NetBandwidth {
+		t.Fatal("IB should be faster than GigE")
+	}
+	if p.NetLatency >= s.NetLatency {
+		t.Fatal("IB should have lower latency than GigE")
+	}
+}
+
+func TestEthernetPredicate(t *testing.T) {
+	s, p := Stremi(4), Parapluie(4)
+	if !Ethernet(&s) {
+		t.Fatal("stremi should be Ethernet")
+	}
+	if Ethernet(&p) {
+		t.Fatal("parapluie should not be Ethernet")
+	}
+}
+
+func TestLineupComposition(t *testing.T) {
+	s := Stremi(4)
+	names := map[string]bool{}
+	for _, m := range Lineup(&s) {
+		names[m.Name()] = true
+	}
+	for _, want := range []string{"hierknem", "tuned", "hierarch", "mpich2"} {
+		if !names[want] {
+			t.Fatalf("stremi lineup missing %s (have %v)", want, names)
+		}
+	}
+	if names["mvapich2"] {
+		t.Fatal("mvapich2 should only appear on InfiniBand")
+	}
+	p := Parapluie(4)
+	names = map[string]bool{}
+	for _, m := range Lineup(&p) {
+		names[m.Name()] = true
+	}
+	if !names["mvapich2"] || names["mpich2"] {
+		t.Fatalf("parapluie lineup wrong: %v", names)
+	}
+	if Lineup(&p)[0].Name() != "hierknem" {
+		t.Fatal("hierknem should lead the lineup")
+	}
+}
+
+func TestConfigQuirksByNetwork(t *testing.T) {
+	s, p := Stremi(4), Parapluie(4)
+	if Config(&s).RendezvousCPU <= Config(&p).RendezvousCPU {
+		t.Fatal("TCP per-message cost should exceed IB's")
+	}
+}
+
+func TestNewWorldBindings(t *testing.T) {
+	s := Stremi(2)
+	for _, binding := range []string{"bycore", "bynode"} {
+		w, err := NewWorld(s, binding, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Size() != 48 {
+			t.Fatalf("size = %d", w.Size())
+		}
+	}
+	if _, err := NewWorld(s, "bogus", 4); err == nil {
+		t.Fatal("accepted unknown binding")
+	}
+	if _, err := NewWorld(s, "bycore", 1000); err == nil {
+		t.Fatal("accepted oversubscription")
+	}
+}
+
+// The headline sanity check at a scale fast enough for the unit suite:
+// HierKNEM must beat every baseline for a mid-size Ethernet broadcast.
+func TestHierKNEMWinsMidSizeEthernet(t *testing.T) {
+	spec := Stremi(4)
+	var hk, worst float64
+	for i, mod := range Lineup(&spec) {
+		w, err := NewWorld(spec, "bycore", 96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := imb.Bcast(w, mod, 128<<10, imb.Opts{Iterations: 2, Warmup: 1})
+		if i == 0 {
+			hk = r.AvgTime
+		} else if r.AvgTime > worst {
+			worst = r.AvgTime
+		}
+		if i > 0 && r.AvgTime <= hk {
+			t.Fatalf("%s (%g) not slower than hierknem (%g)", mod.Name(), r.AvgTime, hk)
+		}
+	}
+	if worst/hk < 2 {
+		t.Fatalf("hierknem advantage only %.1fx over the worst baseline", worst/hk)
+	}
+}

@@ -1,0 +1,36 @@
+package clusters
+
+import (
+	"fmt"
+	"testing"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/mpi"
+)
+
+func TestDiagHierknemBcast(t *testing.T) {
+	spec := Parapluie(32)
+	mod := HierKNEM(&spec)
+	w, err := NewWorld(spec, "bycore", 768)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var marks []string
+	err = w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		buf := buffer.NewPhantom(64 << 10)
+		t0 := p.Now()
+		mod.Bcast(p, c, buf, 0)
+		el := p.Now() - t0
+		r := c.Rank(p)
+		if r%24 == 0 && r < 240 || r == 767 || r == 1 {
+			marks = append(marks, fmt.Sprintf("rank%d(node%d): %.1fus", r, p.Core().NodeID, el*1e6))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range marks {
+		t.Log(m)
+	}
+}

@@ -1,0 +1,260 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/mpi"
+)
+
+func TestScatterVariantsDeliverBlocks(t *testing.T) {
+	variants := []struct {
+		name string
+		run  func(p *mpi.Proc, c *mpi.Comm, s, r *buffer.Buffer, root int)
+	}{
+		{"linear", ScatterLinear},
+		{"binomial", ScatterBinomial},
+	}
+	const block = 700
+	for _, v := range variants {
+		for _, np := range []int{2, 3, 5, 8, 13} {
+			for _, root := range []int{0, np - 1} {
+				t.Run(fmt.Sprintf("%s/np%d/root%d", v.name, np, root), func(t *testing.T) {
+					w := testWorld(t, 2, (np+1)/2, np)
+					bad := 0
+					err := w.Run(func(p *mpi.Proc) {
+						c := w.WorldComm()
+						me := c.Rank(p)
+						var sbuf *buffer.Buffer
+						if me == root {
+							all := make([]byte, block*np)
+							for r := 0; r < np; r++ {
+								copy(all[r*block:(r+1)*block], pattern(r, block))
+							}
+							sbuf = buffer.NewReal(all)
+						}
+						rbuf := buffer.NewReal(make([]byte, block))
+						v.run(p, c, sbuf, rbuf, root)
+						if !bytes.Equal(rbuf.Data(), pattern(me, block)) {
+							bad++
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bad != 0 {
+						t.Fatalf("%d ranks wrong", bad)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestGatherBinomialCollectsBlocks(t *testing.T) {
+	const block = 450
+	for _, np := range []int{2, 4, 6, 9, 16} {
+		for _, root := range []int{0, np / 2} {
+			t.Run(fmt.Sprintf("np%d/root%d", np, root), func(t *testing.T) {
+				w := testWorld(t, 2, (np+1)/2, np)
+				var got []byte
+				err := w.Run(func(p *mpi.Proc) {
+					c := w.WorldComm()
+					me := c.Rank(p)
+					sbuf := buffer.NewReal(pattern(me, block))
+					var rbuf *buffer.Buffer
+					if me == root {
+						rbuf = buffer.NewReal(make([]byte, block*np))
+					}
+					GatherBinomial(p, c, sbuf, rbuf, root)
+					if me == root {
+						got = append([]byte(nil), rbuf.Data()...)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := 0; r < np; r++ {
+					if !bytes.Equal(got[r*block:(r+1)*block], pattern(r, block)) {
+						t.Fatalf("block %d wrong", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceVariantsComputeSum(t *testing.T) {
+	variants := []struct {
+		name string
+		run  func(p *mpi.Proc, c *mpi.Comm, a ReduceArgs, s, r *buffer.Buffer)
+	}{
+		{"recursive-doubling", AllreduceRecursiveDoubling},
+		{"ring", func(p *mpi.Proc, c *mpi.Comm, a ReduceArgs, s, r *buffer.Buffer) {
+			AllreduceRing(p, c, a, s, r, nil)
+		}},
+	}
+	for _, v := range variants {
+		for _, np := range []int{2, 3, 4, 7, 8} {
+			for _, elems := range []int{1, 5, 999} {
+				t.Run(fmt.Sprintf("%s/np%d/%delems", v.name, np, elems), func(t *testing.T) {
+					w := testWorld(t, 2, (np+1)/2, np)
+					want := make([]int64, elems)
+					for r := 0; r < np; r++ {
+						for i := range want {
+							want[i] += int64(r*13 + i)
+						}
+					}
+					bad := 0
+					err := w.Run(func(p *mpi.Proc) {
+						c := w.WorldComm()
+						me := c.Rank(p)
+						vals := make([]int64, elems)
+						for i := range vals {
+							vals[i] = int64(me*13 + i)
+						}
+						sbuf := buffer.Int64s(vals)
+						rbuf := buffer.Int64s(make([]int64, elems))
+						v.run(p, c, ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Int64}, sbuf, rbuf)
+						got := buffer.AsInt64s(rbuf)
+						for i := range want {
+							if got[i] != want[i] {
+								bad++
+								break
+							}
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bad != 0 {
+						t.Fatalf("%d ranks wrong", bad)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestAllreduceRingCustomOrder(t *testing.T) {
+	const np, elems = 6, 300
+	w := testWorld(t, 2, 3, np)
+	order := []int{5, 3, 1, 0, 2, 4}
+	bad := 0
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		me := c.Rank(p)
+		vals := make([]int64, elems)
+		for i := range vals {
+			vals[i] = int64(me + 2*i)
+		}
+		sbuf := buffer.Int64s(vals)
+		rbuf := buffer.Int64s(make([]int64, elems))
+		AllreduceRing(p, c, ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Int64}, sbuf, rbuf, order)
+		got := buffer.AsInt64s(rbuf)
+		for i := range got {
+			want := int64(np*(np-1)/2) + int64(np*2*i)
+			if got[i] != want {
+				bad++
+				break
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad != 0 {
+		t.Fatalf("%d ranks wrong with custom ring order", bad)
+	}
+}
+
+// Property: scatter-then-gather round-trips arbitrary buffers for random
+// communicator sizes and roots.
+func TestQuickScatterGatherRoundTrip(t *testing.T) {
+	f := func(seed []byte, np8, root8 uint8) bool {
+		np := int(np8)%10 + 2
+		root := int(root8) % np
+		const block = 50
+		all := make([]byte, np*block)
+		for i := range all {
+			if len(seed) > 0 {
+				all[i] = seed[i%len(seed)]
+			}
+			all[i] += byte(i)
+		}
+		w := testWorld(t, 2, (np+1)/2, np)
+		ok := true
+		err := w.Run(func(p *mpi.Proc) {
+			c := w.WorldComm()
+			me := c.Rank(p)
+			var sbuf *buffer.Buffer
+			if me == root {
+				sbuf = buffer.NewReal(append([]byte(nil), all...))
+			}
+			rbuf := buffer.NewReal(make([]byte, block))
+			ScatterBinomial(p, c, sbuf, rbuf, root)
+			var gbuf *buffer.Buffer
+			if me == root {
+				gbuf = buffer.NewReal(make([]byte, np*block))
+			}
+			GatherBinomial(p, c, rbuf, gbuf, root)
+			if me == root && !bytes.Equal(gbuf.Data(), all) {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ring allreduce equals recursive-doubling allreduce (both equal
+// the analytic sum) for random element counts.
+func TestQuickAllreduceAgreement(t *testing.T) {
+	f := func(elems16 uint16, np8 uint8) bool {
+		np := int(np8)%7 + 2
+		elems := int(elems16)%500 + 1
+		for _, ring := range []bool{false, true} {
+			w := testWorld(t, 2, (np+1)/2, np)
+			ok := true
+			err := w.Run(func(p *mpi.Proc) {
+				c := w.WorldComm()
+				me := c.Rank(p)
+				vals := make([]int64, elems)
+				for i := range vals {
+					vals[i] = int64(me ^ i)
+				}
+				sbuf := buffer.Int64s(vals)
+				rbuf := buffer.Int64s(make([]int64, elems))
+				a := ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Int64}
+				if ring {
+					AllreduceRing(p, c, a, sbuf, rbuf, nil)
+				} else {
+					AllreduceRecursiveDoubling(p, c, a, sbuf, rbuf)
+				}
+				got := buffer.AsInt64s(rbuf)
+				for i := range got {
+					var want int64
+					for r := 0; r < np; r++ {
+						want += int64(r ^ i)
+					}
+					if got[i] != want {
+						ok = false
+						break
+					}
+				}
+			})
+			if err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

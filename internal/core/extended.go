@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/knem"
+	"hierknem/internal/mpi"
+)
+
+// Extension operations: the paper evaluates Bcast, Reduce and Allgather;
+// a production HierKNEM would also ship Scatter, Gather and Allreduce built
+// from the same ingredients — leader hierarchy, KNEM offload, and
+// topology-derived layouts.
+
+// Scatter distributes root's buffer hierarchically: node blocks travel to
+// leaders over a binomial tree, then every non-leader pulls its own block
+// with a one-sided KNEM get while leaders are already done. Irregular
+// layouts fall back to the flat binomial scatter.
+func (m *Module) Scatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, root int) {
+	if c.Size() == 1 {
+		rbuf.CopyFrom(sbuf.Slice(0, rbuf.Len()))
+		return
+	}
+	if !uniformContiguous(c) {
+		coll.ScatterBinomial(p, c, sbuf, rbuf, root)
+		return
+	}
+	hy := m.hierarchy(p, c, root)
+	lcomm := hy.LComm
+	block := rbuf.Len()
+	nodeBytes := block * int64(lcomm.Size())
+	spec := &p.World().Machine.Spec
+	key := fmt.Sprintf("hkscatter/%d", lcomm.Seq(p))
+
+	// Position of this rank within its node's contiguous comm-rank block.
+	// (lcomm rank order is reshuffled by root promotion, so derive the
+	// block slot from the comm rank, which uniformContiguous guarantees.)
+	pos := int64(c.Rank(p) % lcomm.Size())
+
+	if hy.IsLeader {
+		// Inter-node phase: binomial scatter of node blocks over llcomm.
+		staging := scratchLike(rbuf, nodeBytes)
+		if hy.LLComm.Size() > 1 {
+			var nodeSrc *buffer.Buffer
+			if c.Rank(p) == root {
+				nodeSrc = sbuf
+			}
+			coll.ScatterBinomial(p, hy.LLComm, nodeSrc, staging, hy.RootNodeIndex)
+		} else {
+			staging.CopyFrom(sbuf)
+		}
+		// Intra-node phase: publish the staging block, non-leaders pull.
+		dev := p.Knem()
+		p.Compute(spec.ShmLatency)
+		ck := dev.Register(staging, p.Core(), knem.RightRead)
+		lcomm.BBPost(p, key, cookieShare{dev: dev, cookie: ck})
+		rbuf.CopyFrom(staging.Slice(pos*block, block))
+		lcomm.Barrier(p) // non-leaders may pull
+		lcomm.Barrier(p) // pulls complete
+		p.Compute(spec.ShmLatency)
+		if err := dev.Deregister(ck); err != nil {
+			panic(err)
+		}
+		lcomm.BBClear(key)
+		return
+	}
+
+	p.Compute(spec.ShmLatency)
+	sh := lcomm.BBWait(p, key).(cookieShare)
+	lcomm.Barrier(p)
+	if err := sh.dev.Get(p.DES(), p.Core(), sh.cookie, pos*block, rbuf); err != nil {
+		panic(err)
+	}
+	lcomm.Barrier(p)
+}
+
+// Gather is Scatter's mirror: non-leaders push their blocks into the
+// leader's staging buffer with one-sided KNEM puts, then leaders gather node
+// blocks to the root over a binomial tree.
+func (m *Module) Gather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, root int) {
+	if c.Size() == 1 {
+		rbuf.Slice(0, sbuf.Len()).CopyFrom(sbuf)
+		return
+	}
+	if !uniformContiguous(c) {
+		coll.GatherBinomial(p, c, sbuf, rbuf, root)
+		return
+	}
+	hy := m.hierarchy(p, c, root)
+	lcomm := hy.LComm
+	block := sbuf.Len()
+	nodeBytes := block * int64(lcomm.Size())
+	spec := &p.World().Machine.Spec
+	key := fmt.Sprintf("hkgather/%d", lcomm.Seq(p))
+	pos := int64(c.Rank(p) % lcomm.Size())
+
+	if hy.IsLeader {
+		staging := scratchLike(sbuf, nodeBytes)
+		dev := p.Knem()
+		p.Compute(spec.ShmLatency)
+		ck := dev.Register(staging, p.Core(), knem.RightWrite)
+		lcomm.BBPost(p, key, cookieShare{dev: dev, cookie: ck})
+		staging.Slice(pos*block, block).CopyFrom(sbuf)
+		lcomm.Barrier(p) // wait for all pushes
+		p.Compute(spec.ShmLatency)
+		if err := dev.Deregister(ck); err != nil {
+			panic(err)
+		}
+		lcomm.BBClear(key)
+
+		if hy.LLComm.Size() > 1 {
+			var nodeDst *buffer.Buffer
+			if c.Rank(p) == root {
+				nodeDst = rbuf
+			}
+			coll.GatherBinomial(p, hy.LLComm, staging, nodeDst, hy.RootNodeIndex)
+		} else if c.Rank(p) == root {
+			rbuf.CopyFrom(staging)
+		}
+		return
+	}
+
+	p.Compute(spec.ShmLatency)
+	sh := lcomm.BBWait(p, key).(cookieShare)
+	if err := sh.dev.Put(p.DES(), p.Core(), sh.cookie, pos*block, sbuf); err != nil {
+		panic(err)
+	}
+	lcomm.Barrier(p)
+}
+
+// Allreduce runs three phases: a binomial intra-node reduction to each
+// leader (over KNEM-backed point-to-point), an inter-node allreduce among
+// leaders (recursive doubling for small messages, reduce-scatter +
+// allgather ring above 64 KiB), and a one-sided intra-node fan-out where
+// every non-leader pulls the result concurrently.
+func (m *Module) Allreduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rbuf *buffer.Buffer) {
+	if c.Size() == 1 {
+		rbuf.CopyFrom(sbuf)
+		return
+	}
+	hy := m.hierarchy(p, c, 0)
+	lcomm := hy.LComm
+	spec := &p.World().Machine.Spec
+	key := fmt.Sprintf("hkallreduce/%d", lcomm.Seq(p))
+
+	// Phase 1: intra-node reduction to the leader (lcomm rank 0).
+	var acc *buffer.Buffer
+	if hy.IsLeader {
+		acc = rbuf
+	}
+	if lcomm.Size() > 1 {
+		coll.ReduceBinomial(p, lcomm, a, sbuf, acc, 0)
+	} else if hy.IsLeader {
+		acc.CopyFrom(sbuf)
+	}
+
+	if hy.IsLeader {
+		// Phase 2: inter-node allreduce among leaders.
+		if hy.LLComm.Size() > 1 {
+			tmp := scratchLike(sbuf, sbuf.Len())
+			tmp.CopyFrom(acc)
+			if sbuf.Len() < 64<<10 {
+				coll.AllreduceRecursiveDoubling(p, hy.LLComm, a, tmp, acc)
+			} else {
+				coll.AllreduceRing(p, hy.LLComm, a, tmp, acc, nil)
+			}
+		}
+		// Phase 3: publish; non-leaders pull.
+		if lcomm.Size() > 1 {
+			dev := p.Knem()
+			p.Compute(spec.ShmLatency)
+			ck := dev.Register(acc, p.Core(), knem.RightRead)
+			lcomm.BBPost(p, key, cookieShare{dev: dev, cookie: ck})
+			lcomm.Barrier(p)
+			lcomm.Barrier(p)
+			p.Compute(spec.ShmLatency)
+			if err := dev.Deregister(ck); err != nil {
+				panic(err)
+			}
+			lcomm.BBClear(key)
+		}
+		return
+	}
+
+	p.Compute(spec.ShmLatency)
+	sh := lcomm.BBWait(p, key).(cookieShare)
+	lcomm.Barrier(p)
+	if err := sh.dev.Get(p.DES(), p.Core(), sh.cookie, 0, rbuf); err != nil {
+		panic(err)
+	}
+	lcomm.Barrier(p)
+}

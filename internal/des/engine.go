@@ -1,0 +1,290 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock through a priority queue of events.
+// Simulated processes are real goroutines that execute cooperatively: at any
+// instant at most one process goroutine runs, and control passes between the
+// engine and a process through a strict channel handoff. Because exactly one
+// goroutine is ever runnable, process code needs no locking, and runs are
+// bit-for-bit deterministic: ties in virtual time are broken by event
+// sequence number.
+//
+// All interaction with the clock goes through events. A process blocks by
+// parking (Park, Sleep) and is released by an event (a timer it scheduled, or
+// a Wake issued by another process or callback). Wakeups are themselves
+// events, so the order in which concurrently-unblocked processes resume is
+// deterministic.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// create one with New.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	parked chan struct{} // handshake: a process signals it yielded control
+
+	procs   []*Proc
+	alive   int
+	current *Proc
+	running bool
+
+	// MaxTime aborts Run once the virtual clock passes this horizon.
+	// Zero means no horizon.
+	MaxTime float64
+}
+
+// New returns an empty engine with the virtual clock at zero.
+func New() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from firing. Cancelling an already
+// fired or cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+	}
+}
+
+// Stopped reports whether the timer was cancelled or already fired.
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.fn == nil }
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("des: scheduling event at %g before now %g", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("des: scheduling event at non-finite time %g", t))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d seconds of virtual time from now.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with virtual time under engine control.
+type Proc struct {
+	eng    *Engine
+	id     int
+	name   string
+	resume chan struct{}
+
+	// parkGen counts parks; resume events capture the generation they
+	// target so stale resumes (a Wake racing a timer, or vice versa)
+	// are ignored instead of corrupting the handoff.
+	parkGen     uint64
+	parkedFlag  bool
+	wakeable    bool
+	pendingWake bool
+	done        bool
+	started     bool
+}
+
+// ID returns the process's spawn index, unique within its engine.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Spawn creates a process that will start executing body at the current
+// virtual time. body runs on its own goroutine under the engine's cooperative
+// scheduler; when body returns the process terminates.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{eng: e, id: len(e.procs), name: name, resume: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	e.alive++
+	go func() {
+		<-p.resume
+		body(p)
+		p.done = true
+		e.alive--
+		e.parked <- struct{}{}
+	}()
+	e.At(e.now, func() {
+		p.started = true
+		e.transfer(p)
+	})
+	return p
+}
+
+// transfer hands control to p and blocks the engine until p parks or exits.
+func (e *Engine) transfer(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.parked
+	e.current = prev
+}
+
+// park yields control back to the engine until a resume event targeting this
+// park generation fires.
+func (p *Proc) park(wakeable bool) {
+	p.parkGen++
+	p.parkedFlag = true
+	p.wakeable = wakeable
+	p.eng.parked <- struct{}{}
+	<-p.resume
+	p.parkedFlag = false
+	p.wakeable = false
+}
+
+// resumeEventFor schedules a transfer at time t that is valid only for the
+// park generation gen.
+func (e *Engine) resumeEventFor(p *Proc, gen uint64, t float64) {
+	e.At(t, func() {
+		if !p.done && p.parkedFlag && p.parkGen == gen {
+			e.transfer(p)
+		}
+	})
+}
+
+// Sleep suspends the process for d seconds of virtual time. A zero sleep is
+// still a scheduling point: events already queued at the current timestamp
+// run before the process resumes.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative sleep %g", d))
+	}
+	e := p.eng
+	e.resumeEventFor(p, p.parkGen+1, e.now+d)
+	p.park(false)
+}
+
+// Park suspends the process until another process or event calls Wake. If a
+// Wake was delivered since the last Park, Park consumes it and returns
+// immediately (there are no lost-wakeup races: execution is single-threaded).
+func (p *Proc) Park() {
+	if p.pendingWake {
+		p.pendingWake = false
+		return
+	}
+	p.park(true)
+	p.pendingWake = false
+}
+
+// Wake schedules the parked process to resume at the current virtual time.
+// If the process is not parked (or is parked in Sleep), the wake is latched
+// and consumed by its next Park. Wake must be called from engine context
+// (another process's body or an event callback), never from outside Run.
+func (p *Proc) Wake() {
+	if p.done || p.pendingWake {
+		return
+	}
+	p.pendingWake = true
+	if p.parkedFlag && p.wakeable {
+		p.eng.resumeEventFor(p, p.parkGen, p.eng.now)
+	}
+}
+
+// DeadlockError reports that Run ran out of events while processes were still
+// parked with no pending wakeups.
+type DeadlockError struct {
+	Time   float64
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("des: deadlock at t=%g: %d process(es) parked forever: %v",
+		d.Time, len(d.Parked), d.Parked)
+}
+
+// Run executes events until none remain. It returns a *DeadlockError if
+// processes are still alive when the queue drains, and an error if MaxTime is
+// exceeded; otherwise nil.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("des: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		if ev.at < e.now {
+			panic("des: time went backwards")
+		}
+		e.now = ev.at
+		if e.MaxTime > 0 && e.now > e.MaxTime {
+			return fmt.Errorf("des: exceeded time horizon %g (now %g)", e.MaxTime, e.now)
+		}
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+	}
+	if e.alive > 0 {
+		var names []string
+		for _, p := range e.procs {
+			if !p.done && p.started {
+				names = append(names, p.name)
+			}
+		}
+		sort.Strings(names)
+		return &DeadlockError{Time: e.now, Parked: names}
+	}
+	return nil
+}
+
+// Pending returns the number of events currently scheduled (including
+// cancelled-but-unpopped ones).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any) {
+	*h = append(*h, x.(*event))
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,33 @@
+package des
+
+// Await runs start, which kicks off an asynchronous activity and receives a
+// completion callback, then parks p until that callback fires. The callback
+// may fire before start returns (zero-duration activities); Await handles
+// that via the engine's latched-wake semantics. The callback must be invoked
+// from engine context (an event or another process).
+func Await(p *Proc, start func(done func())) {
+	finished := false
+	start(func() {
+		finished = true
+		p.Wake()
+	})
+	for !finished {
+		p.Park()
+	}
+}
+
+// AwaitAll parks p until all n completion callbacks handed to start have
+// fired. start receives a single done function that must be called exactly n
+// times (from engine context).
+func AwaitAll(p *Proc, n int, start func(done func())) {
+	remaining := n
+	start(func() {
+		remaining--
+		if remaining == 0 {
+			p.Wake()
+		}
+	})
+	for remaining > 0 {
+		p.Park()
+	}
+}

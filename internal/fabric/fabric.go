@@ -1,0 +1,468 @@
+// Package fabric is a flow-level ("fluid") simulator for shared transport
+// resources: network links, NICs, memory buses and per-core copy engines.
+//
+// A Flow moves a number of bytes across an ordered multiset of Resources.
+// At every instant, active flows share each resource max-min fairly: rates
+// are computed by progressive filling, honoring per-flow rate caps and
+// resource multiplicity (a flow whose path lists a resource twice — e.g. a
+// local memory copy that both reads and writes the same bus — consumes twice
+// its rate there). Completions are delivered as events on the owning
+// des.Engine, so fabric transfers compose with any other simulated activity.
+//
+// The model captures the first-order performance effects the HierKNEM paper
+// is about: NIC serialization when many cores on one node talk to the
+// network, the memory-bus hot spot on a leader core serving many one-sided
+// copies, and the overlap (or lack of it) between intra-node copies and
+// inter-node transfers.
+//
+// The implementation is allocation-light: flows and resources live in flat
+// slices and the progressive-filling pass reuses scratch state on the
+// resources themselves, because benchmark workloads recompute allocations
+// tens of thousands of times.
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"hierknem/internal/des"
+)
+
+// Resource is a capacity-limited transport element (link direction, NIC
+// queue, memory bus, copy engine). Create resources with Net.NewResource.
+type Resource struct {
+	Name     string
+	Capacity float64 // bytes per second
+
+	load float64 // current aggregate consumption, bytes/s
+
+	// BytesServed integrates load over time: total bytes that crossed
+	// this resource. BusyTime integrates the saturation fraction.
+	BytesServed float64
+	BusyTime    float64
+
+	// recompute scratch
+	resid   float64
+	wsum    float64
+	touched bool
+}
+
+// Load returns the resource's current aggregate consumption in bytes/s.
+func (r *Resource) Load() float64 { return r.load }
+
+// Utilization returns BytesServed normalized by capacity*elapsed, i.e. the
+// average fraction of the resource's capacity used over [0, now].
+func (r *Resource) Utilization(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return r.BytesServed / (r.Capacity * elapsed)
+}
+
+// Flow is an in-flight transfer.
+type Flow struct {
+	ID      uint64
+	Size    float64 // bytes
+	RateCap float64 // bytes/s; 0 means unlimited
+	Path    []*Resource
+	// Class labels the traffic kind ("net", "copy", "compute", ...) for
+	// the overlap accounting; empty means unclassified.
+	Class string
+
+	OnComplete func()
+
+	owner     *Net
+	idx       int // position in owner.flows; -1 when detached
+	done      float64
+	rate      float64
+	frozen    bool // recompute scratch
+	completed bool
+	aborted   bool
+}
+
+// Rate returns the flow's current allocated rate in bytes/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Done returns the bytes transferred so far (as of the last fabric update).
+func (f *Flow) Done() float64 { return f.done }
+
+// Completed reports whether the flow finished normally.
+func (f *Flow) Completed() bool { return f.completed }
+
+// Net owns a set of resources and active flows on one des.Engine.
+type Net struct {
+	eng        *des.Engine
+	flows      []*Flow
+	resources  []*Resource
+	active     []*Resource // resources carrying load since last recompute
+	lastUpdate float64
+	nextID     uint64
+
+	timer         *des.Timer
+	syncScheduled bool
+
+	// Overlap accounting: virtual time during which at least one flow of
+	// a class was active, and during which two classes were concurrently
+	// active (key "a|b" with a < b). This is how experiments quantify the
+	// paper's central claim — intra-node copies overlapping inter-node
+	// transfers.
+	classBusy   map[string]float64
+	overlapBusy map[string]float64
+	classScr    []string // scratch (reused across advances)
+}
+
+// NewNet creates an empty fabric bound to eng.
+func NewNet(eng *des.Engine) *Net {
+	return &Net{
+		eng:         eng,
+		classBusy:   make(map[string]float64),
+		overlapBusy: make(map[string]float64),
+	}
+}
+
+// ClassBusyTime returns the virtual time during which at least one flow of
+// the class was active.
+func (n *Net) ClassBusyTime(class string) float64 { return n.classBusy[class] }
+
+// OverlapTime returns the virtual time during which flows of both classes
+// were concurrently active.
+func (n *Net) OverlapTime(a, b string) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	return n.overlapBusy[a+"|"+b]
+}
+
+// Engine returns the underlying event engine.
+func (n *Net) Engine() *des.Engine { return n.eng }
+
+// Resources returns all resources created on this fabric.
+func (n *Net) Resources() []*Resource { return n.resources }
+
+// NewResource registers a resource with the given capacity in bytes/s.
+func (n *Net) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("fabric: resource %q capacity must be positive and finite, got %g", name, capacity))
+	}
+	r := &Resource{Name: name, Capacity: capacity}
+	n.resources = append(n.resources, r)
+	return r
+}
+
+const byteEps = 1e-6 // bytes: a flow within this of its size is complete
+
+// Start installs a flow of size bytes over path and returns it. onComplete
+// fires (as an engine event) when the last byte arrives. A flow must have a
+// non-empty path or a positive rate cap; otherwise its rate would be
+// unbounded. Zero-size flows complete at the current time.
+func (n *Net) Start(size float64, rateCap float64, path []*Resource, onComplete func()) *Flow {
+	if size < 0 || math.IsNaN(size) {
+		panic(fmt.Sprintf("fabric: invalid flow size %g", size))
+	}
+	if len(path) == 0 && rateCap <= 0 {
+		panic("fabric: flow needs a path or a rate cap")
+	}
+	f := &Flow{
+		ID:         n.nextID,
+		Size:       size,
+		RateCap:    rateCap,
+		Path:       path,
+		OnComplete: onComplete,
+		owner:      n,
+		idx:        -1,
+	}
+	n.nextID++
+	if size <= byteEps {
+		f.completed = true
+		if onComplete != nil {
+			n.eng.At(n.eng.Now(), onComplete)
+		}
+		return f
+	}
+	n.advance()
+	f.idx = len(n.flows)
+	n.flows = append(n.flows, f)
+	n.requestSync()
+	return f
+}
+
+// StartClassed is Start with a traffic-class label for overlap accounting.
+func (n *Net) StartClassed(class string, size, rateCap float64, path []*Resource, onComplete func()) *Flow {
+	f := n.Start(size, rateCap, path, onComplete)
+	f.Class = class
+	return f
+}
+
+// StartAfter installs the flow after a fixed latency (e.g. a message's wire
+// or rendezvous latency).
+func (n *Net) StartAfter(delay, size, rateCap float64, path []*Resource, onComplete func()) {
+	n.StartAfterClassed("", delay, size, rateCap, path, onComplete)
+}
+
+// StartAfterClassed is StartAfter with a traffic-class label.
+func (n *Net) StartAfterClassed(class string, delay, size, rateCap float64, path []*Resource, onComplete func()) {
+	if delay <= 0 {
+		n.StartClassed(class, size, rateCap, path, onComplete)
+		return
+	}
+	n.eng.After(delay, func() { n.StartClassed(class, size, rateCap, path, onComplete) })
+}
+
+// Abort removes an in-flight flow without firing OnComplete.
+func (f *Flow) Abort() {
+	if f.completed || f.aborted || f.idx < 0 {
+		return
+	}
+	f.aborted = true
+	n := f.owner
+	n.advance()
+	n.remove(f)
+	n.requestSync()
+}
+
+// remove detaches flow f from the active set (swap-delete).
+func (n *Net) remove(f *Flow) {
+	last := len(n.flows) - 1
+	other := n.flows[last]
+	n.flows[f.idx] = other
+	other.idx = f.idx
+	n.flows[last] = nil
+	n.flows = n.flows[:last]
+	f.idx = -1
+	f.rate = 0
+}
+
+// advance accrues progress for all flows at current rates up to engine-now.
+func (n *Net) advance() {
+	now := n.eng.Now()
+	dt := now - n.lastUpdate
+	if dt <= 0 {
+		n.lastUpdate = now
+		return
+	}
+	n.classScr = n.classScr[:0]
+	for _, f := range n.flows {
+		f.done += f.rate * dt
+		if f.done > f.Size {
+			f.done = f.Size
+		}
+		if f.Class != "" && !containsStr(n.classScr, f.Class) {
+			n.classScr = append(n.classScr, f.Class)
+		}
+	}
+	for i, a := range n.classScr {
+		n.classBusy[a] += dt
+		for _, b := range n.classScr[i+1:] {
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			n.overlapBusy[lo+"|"+hi] += dt
+		}
+	}
+	for _, r := range n.active {
+		r.BytesServed += r.load * dt
+		r.BusyTime += (r.load / r.Capacity) * dt
+	}
+	n.lastUpdate = now
+}
+
+func containsStr(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// requestSync coalesces recomputation: all adds/removes within one virtual
+// instant trigger a single progressive-filling pass.
+func (n *Net) requestSync() {
+	if n.syncScheduled {
+		return
+	}
+	n.syncScheduled = true
+	n.eng.At(n.eng.Now(), func() {
+		n.syncScheduled = false
+		n.recompute()
+		n.scheduleCompletion()
+	})
+}
+
+// recompute assigns max-min fair rates to all active flows by progressive
+// filling: raise every unfrozen flow's rate uniformly until a flow hits its
+// cap or a resource saturates; freeze those and repeat.
+func (n *Net) recompute() {
+	// Clear loads of previously active resources.
+	for _, r := range n.active {
+		r.load = 0
+	}
+	n.active = n.active[:0]
+	if len(n.flows) == 0 {
+		return
+	}
+
+	for _, f := range n.flows {
+		f.frozen = false
+		for _, r := range f.Path {
+			if !r.touched {
+				r.touched = true
+				r.resid = r.Capacity
+				r.wsum = 0
+				n.active = append(n.active, r)
+			}
+			r.wsum++
+		}
+	}
+
+	unfrozen := len(n.flows)
+	level := 0.0
+	const relEps = 1e-9
+	for unfrozen > 0 {
+		delta := math.Inf(1)
+		for _, r := range n.active {
+			if r.wsum > relEps {
+				if d := r.resid / r.wsum; d < delta {
+					delta = d
+				}
+			}
+		}
+		for _, f := range n.flows {
+			if !f.frozen && f.RateCap > 0 {
+				if d := f.RateCap - level; d < delta {
+					delta = d
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			// Flows with no constraining resource and no cap; unreachable
+			// given Start's validation, but guard anyway.
+			for _, f := range n.flows {
+				if !f.frozen {
+					f.frozen = true
+					f.rate = level
+				}
+			}
+			break
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		level += delta
+		for _, r := range n.active {
+			r.resid -= delta * r.wsum
+		}
+
+		frozeAny := false
+		for _, f := range n.flows {
+			if f.frozen {
+				continue
+			}
+			capped := f.RateCap > 0 && level >= f.RateCap*(1-relEps)
+			saturated := false
+			if !capped {
+				for _, r := range f.Path {
+					if r.resid <= r.Capacity*relEps {
+						saturated = true
+						break
+					}
+				}
+			}
+			if capped || saturated {
+				f.frozen = true
+				f.rate = level
+				unfrozen--
+				for _, r := range f.Path {
+					r.wsum--
+				}
+				frozeAny = true
+			}
+		}
+		if !frozeAny {
+			// Numerical stalemate: freeze everything at the current level.
+			for _, f := range n.flows {
+				if !f.frozen {
+					f.frozen = true
+					f.rate = level
+					unfrozen--
+				}
+			}
+		}
+	}
+
+	for _, r := range n.active {
+		r.touched = false
+		r.load = 0
+	}
+	for _, f := range n.flows {
+		for _, r := range f.Path {
+			r.load += f.rate
+		}
+	}
+}
+
+// scheduleCompletion (re)arms the single completion timer for the earliest
+// finishing flow.
+func (n *Net) scheduleCompletion() {
+	if n.timer != nil {
+		n.timer.Cancel()
+		n.timer = nil
+	}
+	next := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := (f.Size - f.done) / f.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		if len(n.flows) > 0 {
+			panic("fabric: active flows but no positive rates; simulation would stall")
+		}
+		return
+	}
+	if next < 0 {
+		next = 0
+	}
+	n.timer = n.eng.After(next, n.onCompletionTimer)
+}
+
+func (n *Net) onCompletionTimer() {
+	n.timer = nil
+	n.advance()
+	var finished []*Flow
+	for _, f := range n.flows {
+		if f.Size-f.done <= byteEps {
+			finished = append(finished, f)
+		}
+	}
+	// Deterministic callback order.
+	sortFlows(finished)
+	for _, f := range finished {
+		n.remove(f)
+		f.completed = true
+	}
+	for _, f := range finished {
+		if f.OnComplete != nil {
+			f.OnComplete()
+		}
+	}
+	n.recompute()
+	n.scheduleCompletion()
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Net) ActiveFlows() int { return len(n.flows) }
+
+func sortFlows(fs []*Flow) {
+	// insertion sort by ID; completion batches are small
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].ID < fs[j-1].ID; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}

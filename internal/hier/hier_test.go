@@ -1,0 +1,157 @@
+package hier
+
+import (
+	"testing"
+
+	"hierknem/internal/mpi"
+	"hierknem/internal/topology"
+)
+
+func testWorld(t *testing.T, nodes, cores, np int, bynode bool) *mpi.World {
+	t.Helper()
+	m, err := topology.Build(topology.Spec{
+		Name: "hiertest", Nodes: nodes, SocketsPerNode: 1, CoresPerSocket: cores,
+		MemBandwidth: 10e9, CoreCopyBandwidth: 3e9, L3Bandwidth: 6e9,
+		L3Size: 12 << 20, ShmLatency: 1e-6,
+		NetBandwidth: 1e9, NetLatency: 10e-6, NetFullDuplex: true,
+		EagerThreshold: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b *topology.Binding
+	if bynode {
+		b, err = topology.ByNode(m, np)
+	} else {
+		b, err = topology.ByCore(m, np)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(m, b, mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBuildStructure(t *testing.T) {
+	w := testWorld(t, 3, 4, 12, false)
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		h := Build(p, c, 0)
+		if h.LComm.Size() != 4 {
+			t.Errorf("rank %d: lcomm size %d, want 4", c.Rank(p), h.LComm.Size())
+		}
+		if !h.LComm.IntraNode() {
+			t.Errorf("rank %d: lcomm spans nodes", c.Rank(p))
+		}
+		if h.NodeCount != 3 {
+			t.Errorf("NodeCount = %d", h.NodeCount)
+		}
+		if h.IsLeader {
+			if h.LLComm == nil || h.LLComm.Size() != 3 {
+				t.Errorf("leader rank %d: bad llcomm", c.Rank(p))
+			}
+		} else if h.LLComm != nil {
+			t.Errorf("non-leader rank %d has llcomm", c.Rank(p))
+		}
+		// Leader of node i under by-core is rank 4i.
+		if h.LeaderRank != (c.Rank(p)/4)*4 {
+			t.Errorf("rank %d: leader %d", c.Rank(p), h.LeaderRank)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootPromotedToLeader(t *testing.T) {
+	w := testWorld(t, 2, 4, 8, false)
+	const root = 6 // node 1, not its lowest rank
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		h := Build(p, c, root)
+		if c.Rank(p) == root && !h.IsLeader {
+			t.Error("root was not promoted to leader")
+		}
+		if c.Rank(p) == 4 && h.IsLeader {
+			t.Error("rank 4 should have been displaced by the promoted root")
+		}
+		if p.Core().NodeID == 1 && h.LeaderRank != root {
+			t.Errorf("node 1 leader = %d, want %d", h.LeaderRank, root)
+		}
+		if h.RootNodeIndex != 1 {
+			t.Errorf("RootNodeIndex = %d, want 1", h.RootNodeIndex)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLLCommOrderedByNode(t *testing.T) {
+	w := testWorld(t, 4, 2, 8, true) // bynode: leaders are ranks 0..3
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		h := Build(p, c, 0)
+		if !h.IsLeader {
+			return
+		}
+		// llcomm rank must equal the dense node index.
+		if h.LLComm.Rank(p) != h.NodeIndex {
+			t.Errorf("leader on node %d has llcomm rank %d, node index %d",
+				p.Core().NodeID, h.LLComm.Rank(p), h.NodeIndex)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCommExcludesFirstLeader(t *testing.T) {
+	w := testWorld(t, 2, 4, 8, false)
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		h := Build(p, c, 0)
+		nc := h.NewComm(p)
+		lrank := h.LComm.Rank(p)
+		if lrank == 0 {
+			if nc != nil {
+				t.Errorf("1st leader got a new_comm")
+			}
+			return
+		}
+		if nc == nil {
+			t.Errorf("rank %d (lrank %d) got nil new_comm", c.Rank(p), lrank)
+			return
+		}
+		if nc.Size() != 3 {
+			t.Errorf("new_comm size %d, want 3", nc.Size())
+		}
+		// 2nd leader (lrank 1) must be new_comm rank 0.
+		if lrank == 1 && nc.Rank(p) != 0 {
+			t.Errorf("2nd leader has new_comm rank %d", nc.Rank(p))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankNodes(t *testing.T) {
+	w := testWorld(t, 4, 2, 4, true) // one rank per node
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		h := Build(p, c, 0)
+		if h.LComm.Size() != 1 || !h.IsLeader {
+			t.Errorf("rank %d: lcomm %d leader %v", c.Rank(p), h.LComm.Size(), h.IsLeader)
+		}
+		if h.NewComm(p) != nil {
+			t.Errorf("new_comm on single-rank node")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

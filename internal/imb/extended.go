@@ -1,0 +1,74 @@
+package imb
+
+import (
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/modules"
+	"hierknem/internal/mpi"
+)
+
+// Allreduce benchmarks MPI_Allreduce (sum over float64).
+func Allreduce(w *mpi.World, mod modules.Module, bytes int64, opts Opts) Result {
+	np := w.Size()
+	sbufs := make([]*buffer.Buffer, np)
+	rbufs := make([]*buffer.Buffer, np)
+	for i := range sbufs {
+		sbufs[i] = opts.newBuf(bytes)
+		rbufs[i] = opts.newBuf(bytes)
+	}
+	a := coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Float64}
+	avg, min, max, iters := timeOp(w, opts, func(p *mpi.Proc, c *mpi.Comm, it int) {
+		mod.Allreduce(p, c, a, sbufs[c.Rank(p)], rbufs[c.Rank(p)])
+	})
+	return Result{
+		Op: "allreduce", Module: mod.Name(), Bytes: bytes, Iterations: iters,
+		AvgTime: avg, MinTime: min, MaxTime: max,
+		AggBW: AggregateBW("allreduce", np, bytes, avg),
+	}
+}
+
+// Scatter benchmarks MPI_Scatter; bytes is the per-rank block size.
+func Scatter(w *mpi.World, mod modules.Module, bytes int64, opts Opts) Result {
+	np := w.Size()
+	sbufs := make([]*buffer.Buffer, np)
+	rbufs := make([]*buffer.Buffer, np)
+	for i := range sbufs {
+		sbufs[i] = opts.newBuf(bytes * int64(np))
+		rbufs[i] = opts.newBuf(bytes)
+	}
+	avg, min, max, iters := timeOp(w, opts, func(p *mpi.Proc, c *mpi.Comm, it int) {
+		root := 0
+		if opts.RotateRoot {
+			root = it % np
+		}
+		mod.Scatter(p, c, sbufs[c.Rank(p)], rbufs[c.Rank(p)], root)
+	})
+	return Result{
+		Op: "scatter", Module: mod.Name(), Bytes: bytes, Iterations: iters,
+		AvgTime: avg, MinTime: min, MaxTime: max,
+		AggBW: AggregateBW("scatter", np, bytes, avg),
+	}
+}
+
+// Gather benchmarks MPI_Gather; bytes is the per-rank block size.
+func Gather(w *mpi.World, mod modules.Module, bytes int64, opts Opts) Result {
+	np := w.Size()
+	sbufs := make([]*buffer.Buffer, np)
+	rbufs := make([]*buffer.Buffer, np)
+	for i := range sbufs {
+		sbufs[i] = opts.newBuf(bytes)
+		rbufs[i] = opts.newBuf(bytes * int64(np))
+	}
+	avg, min, max, iters := timeOp(w, opts, func(p *mpi.Proc, c *mpi.Comm, it int) {
+		root := 0
+		if opts.RotateRoot {
+			root = it % np
+		}
+		mod.Gather(p, c, sbufs[c.Rank(p)], rbufs[c.Rank(p)], root)
+	})
+	return Result{
+		Op: "gather", Module: mod.Name(), Bytes: bytes, Iterations: iters,
+		AvgTime: avg, MinTime: min, MaxTime: max,
+		AggBW: AggregateBW("gather", np, bytes, avg),
+	}
+}

@@ -1,0 +1,177 @@
+// Package imb reimplements the measurement methodology of the Intel MPI
+// Benchmarks (IMB-3.2) used in the paper's evaluation: per-operation timing
+// loops with a barrier before each iteration, the maximum time across ranks
+// as the per-iteration result, and — for rooted operations — the root
+// rotating across ranks every iteration (the detail behind the cache-reuse
+// effect in Figure 6(a)).
+package imb
+
+import (
+	"fmt"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/modules"
+	"hierknem/internal/mpi"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Op         string
+	Module     string
+	Bytes      int64 // message size (per-rank contribution for Allgather)
+	Iterations int
+	AvgTime    float64 // mean of per-iteration max-across-ranks times (s)
+	MinTime    float64
+	MaxTime    float64
+	AggBW      float64 // aggregate bandwidth, bytes/s (see AggregateBW)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s %-9s %10d B  avg %12.3f us  aggBW %10.1f MB/s",
+		r.Op, r.Module, r.Bytes, r.AvgTime*1e6, r.AggBW/1e6)
+}
+
+// AggregateBW computes the paper's "aggregate bandwidth" metric: total bytes
+// delivered cluster-wide per second of operation time.
+//
+//	Bcast / Reduce: (P-1) ranks each consuming/producing S bytes
+//	Allgather:      P ranks each receiving (P-1) remote blocks of S bytes
+func AggregateBW(op string, np int, bytes int64, avgTime float64) float64 {
+	if avgTime <= 0 {
+		return 0
+	}
+	switch op {
+	case "allgather":
+		return float64(np) * float64(np-1) * float64(bytes) / avgTime
+	default:
+		return float64(np-1) * float64(bytes) / avgTime
+	}
+}
+
+// Opts configures a benchmark run.
+type Opts struct {
+	Iterations int  // timing iterations (default 4)
+	Warmup     int  // untimed warmup iterations (default 1; -1 disables)
+	RotateRoot bool // IMB default for rooted ops: root = iteration % P
+	Real       bool // use real payload buffers (default phantom: size-only)
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Iterations == 0 {
+		o.Iterations = 4
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 1
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	return o
+}
+
+func (o Opts) newBuf(n int64) *buffer.Buffer {
+	if o.Real {
+		return buffer.NewReal(make([]byte, n))
+	}
+	return buffer.NewPhantom(n)
+}
+
+// timeOp runs the op loop and reduces per-iteration times (max over ranks).
+func timeOp(w *mpi.World, opts Opts, body func(p *mpi.Proc, c *mpi.Comm, iter int)) (avg, min, max float64, iters int) {
+	opts = opts.withDefaults()
+	total := opts.Warmup + opts.Iterations
+	perIter := make([]float64, total) // max across ranks
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		for it := 0; it < total; it++ {
+			c.Barrier(p)
+			t0 := p.Now()
+			body(p, c, it)
+			el := p.Now() - t0
+			if el > perIter[it] {
+				perIter[it] = el
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("imb: benchmark run failed: %v", err))
+	}
+	timed := perIter[opts.Warmup:]
+	min, max = timed[0], timed[0]
+	var sum float64
+	for _, t := range timed {
+		sum += t
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return sum / float64(len(timed)), min, max, len(timed)
+}
+
+// Bcast benchmarks MPI_Bcast for one module and message size.
+func Bcast(w *mpi.World, mod modules.Module, bytes int64, opts Opts) Result {
+	np := w.Size()
+	bufs := make([]*buffer.Buffer, np)
+	for i := range bufs {
+		bufs[i] = opts.newBuf(bytes)
+	}
+	avg, min, max, iters := timeOp(w, opts, func(p *mpi.Proc, c *mpi.Comm, it int) {
+		root := 0
+		if opts.RotateRoot {
+			root = it % np
+		}
+		mod.Bcast(p, c, bufs[c.Rank(p)], root)
+	})
+	return Result{
+		Op: "bcast", Module: mod.Name(), Bytes: bytes, Iterations: iters,
+		AvgTime: avg, MinTime: min, MaxTime: max,
+		AggBW: AggregateBW("bcast", np, bytes, avg),
+	}
+}
+
+// Reduce benchmarks MPI_Reduce (sum over float64).
+func Reduce(w *mpi.World, mod modules.Module, bytes int64, opts Opts) Result {
+	np := w.Size()
+	sbufs := make([]*buffer.Buffer, np)
+	rbufs := make([]*buffer.Buffer, np)
+	for i := range sbufs {
+		sbufs[i] = opts.newBuf(bytes)
+		rbufs[i] = opts.newBuf(bytes)
+	}
+	a := coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Float64}
+	avg, min, max, iters := timeOp(w, opts, func(p *mpi.Proc, c *mpi.Comm, it int) {
+		root := 0
+		if opts.RotateRoot {
+			root = it % np
+		}
+		mod.Reduce(p, c, a, sbufs[c.Rank(p)], rbufs[c.Rank(p)], root)
+	})
+	return Result{
+		Op: "reduce", Module: mod.Name(), Bytes: bytes, Iterations: iters,
+		AvgTime: avg, MinTime: min, MaxTime: max,
+		AggBW: AggregateBW("reduce", np, bytes, avg),
+	}
+}
+
+// Allgather benchmarks MPI_Allgather; bytes is the per-rank contribution.
+func Allgather(w *mpi.World, mod modules.Module, bytes int64, opts Opts) Result {
+	np := w.Size()
+	sbufs := make([]*buffer.Buffer, np)
+	rbufs := make([]*buffer.Buffer, np)
+	for i := range sbufs {
+		sbufs[i] = opts.newBuf(bytes)
+		rbufs[i] = opts.newBuf(bytes * int64(np))
+	}
+	avg, min, max, iters := timeOp(w, opts, func(p *mpi.Proc, c *mpi.Comm, it int) {
+		mod.Allgather(p, c, sbufs[c.Rank(p)], rbufs[c.Rank(p)])
+	})
+	return Result{
+		Op: "allgather", Module: mod.Name(), Bytes: bytes, Iterations: iters,
+		AvgTime: avg, MinTime: min, MaxTime: max,
+		AggBW: AggregateBW("allgather", np, bytes, avg),
+	}
+}

@@ -1,0 +1,165 @@
+// Package knem simulates the KNEM Linux kernel module: single-copy,
+// one-sided intra-node data movement with direction control.
+//
+// A process registers a buffer with its node's device and receives a cookie;
+// any process on the same node holding the cookie can then Get (read) from
+// or Put (write) to the registered region, subject to the access rights
+// granted at registration. The defining property — the one HierKNEM exploits
+// — is that the copy is executed by the *requesting* core: the buffer's
+// owner spends no cycles, so a leader can keep forwarding on the network
+// while every non-leader pulls its own data.
+package knem
+
+import (
+	"fmt"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/des"
+	"hierknem/internal/shm"
+	"hierknem/internal/topology"
+)
+
+// Rights restricts what cookie holders may do with a region, mirroring
+// KNEM's direction control.
+type Rights int
+
+const (
+	// RightRead allows Get (remote process reads the region).
+	RightRead Rights = 1 << iota
+	// RightWrite allows Put (remote process writes the region).
+	RightWrite
+)
+
+// Cookie identifies a registered region on one node's device.
+type Cookie uint64
+
+// Stats aggregates device activity for the trace layer.
+type Stats struct {
+	Registrations   int64
+	Deregistrations int64
+	Gets, Puts      int64
+	BytesCopied     int64
+}
+
+type region struct {
+	buf    *buffer.Buffer
+	owner  *topology.Core
+	rights Rights
+}
+
+// Device is one node's KNEM kernel module instance.
+type Device struct {
+	nodeID  int
+	machine *topology.Machine
+	regions map[Cookie]*region
+	next    Cookie
+	stats   Stats
+}
+
+// NewDevice creates the device for node nodeID of m.
+func NewDevice(m *topology.Machine, nodeID int) *Device {
+	return &Device{nodeID: nodeID, machine: m, regions: make(map[Cookie]*region), next: 1}
+}
+
+// NodeID returns the node this device serves.
+func (d *Device) NodeID() int { return d.nodeID }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Register pins buf (owned by the process on owner) into the device and
+// returns its cookie. The registration itself is cheap; its cost is paid by
+// the caller as part of the surrounding protocol (a Sleep of ShmLatency,
+// matching a syscall + page pinning).
+func (d *Device) Register(buf *buffer.Buffer, owner *topology.Core, rights Rights) Cookie {
+	if owner.NodeID != d.nodeID {
+		panic(fmt.Sprintf("knem: registering buffer owned by node %d core on node %d device",
+			owner.NodeID, d.nodeID))
+	}
+	ck := d.next
+	d.next++
+	d.regions[ck] = &region{buf: buf, owner: owner, rights: rights}
+	d.stats.Registrations++
+	return ck
+}
+
+// Deregister unpins a region. Outstanding cookies become invalid.
+func (d *Device) Deregister(ck Cookie) error {
+	if _, ok := d.regions[ck]; !ok {
+		return fmt.Errorf("knem: deregister of unknown cookie %d on node %d", ck, d.nodeID)
+	}
+	delete(d.regions, ck)
+	d.stats.Deregistrations++
+	return nil
+}
+
+func (d *Device) lookup(ck Cookie, want Rights, requester *topology.Core) (*region, error) {
+	if requester.NodeID != d.nodeID {
+		return nil, fmt.Errorf("knem: cross-node access: requester on node %d, device on node %d",
+			requester.NodeID, d.nodeID)
+	}
+	reg, ok := d.regions[ck]
+	if !ok {
+		return nil, fmt.Errorf("knem: unknown cookie %d on node %d", ck, d.nodeID)
+	}
+	if reg.rights&want == 0 {
+		return nil, fmt.Errorf("knem: cookie %d does not grant %s access", ck, rightsName(want))
+	}
+	return reg, nil
+}
+
+func rightsName(r Rights) string {
+	switch r {
+	case RightRead:
+		return "read"
+	case RightWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("rights(%d)", int(r))
+	}
+}
+
+// Get copies dst.Len() bytes starting at offset off of the registered region
+// into dst. The copy is one-sided: it blocks only p (the requester, running
+// on requester's core); the region owner is not involved. Returns an error
+// for bad cookies, rights, bounds or cross-node access.
+func (d *Device) Get(p *des.Proc, requester *topology.Core, ck Cookie, off int64, dst *buffer.Buffer) error {
+	reg, err := d.lookup(ck, RightRead, requester)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+dst.Len() > reg.buf.Len() {
+		return fmt.Errorf("knem: get [%d:%d] outside region of %d bytes", off, off+dst.Len(), reg.buf.Len())
+	}
+	src := reg.buf.Slice(off, dst.Len())
+	shm.CopyBuffer(p, d.machine, requester, reg.owner.Socket, requester.Socket, src, dst)
+	d.stats.Gets++
+	d.stats.BytesCopied += dst.Len()
+	return nil
+}
+
+// Put copies src into the registered region at offset off. Like Get it is
+// one-sided, blocking only the requester.
+func (d *Device) Put(p *des.Proc, requester *topology.Core, ck Cookie, off int64, src *buffer.Buffer) error {
+	reg, err := d.lookup(ck, RightWrite, requester)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off+src.Len() > reg.buf.Len() {
+		return fmt.Errorf("knem: put [%d:%d] outside region of %d bytes", off, off+src.Len(), reg.buf.Len())
+	}
+	dst := reg.buf.Slice(off, src.Len())
+	shm.CopyBuffer(p, d.machine, requester, requester.Socket, reg.owner.Socket, src, dst)
+	d.stats.Puts++
+	d.stats.BytesCopied += src.Len()
+	return nil
+}
+
+// Devices builds one device per node of m.
+func Devices(m *topology.Machine) []*Device {
+	ds := make([]*Device, m.Spec.Nodes)
+	for i := range ds {
+		ds[i] = NewDevice(m, i)
+	}
+	return ds
+}

@@ -1,0 +1,189 @@
+package modules
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/mpi"
+)
+
+func TestModulesScatterConformance(t *testing.T) {
+	for _, mod := range allModules() {
+		for _, bind := range []string{"bycore", "bynode"} {
+			for _, block := range []int{64, 5000, 70000} {
+				for _, root := range []int{0, 5} {
+					name := fmt.Sprintf("%s/%s/%dB/root%d", mod.Name(), bind, block, root)
+					t.Run(name, func(t *testing.T) {
+						const np = 12
+						w := labWorld(t, 3, 1, 4, bind, np)
+						bad := 0
+						err := w.Run(func(p *mpi.Proc) {
+							c := w.WorldComm()
+							me := c.Rank(p)
+							var sbuf *buffer.Buffer
+							if me == root {
+								all := make([]byte, block*np)
+								for r := 0; r < np; r++ {
+									copy(all[r*block:(r+1)*block], pattern(r, block))
+								}
+								sbuf = buffer.NewReal(all)
+							}
+							rbuf := buffer.NewReal(make([]byte, block))
+							mod.Scatter(p, c, sbuf, rbuf, root)
+							if !bytes.Equal(rbuf.Data(), pattern(me, block)) {
+								bad++
+							}
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if bad != 0 {
+							t.Fatalf("%d ranks got wrong blocks", bad)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestModulesGatherConformance(t *testing.T) {
+	for _, mod := range allModules() {
+		for _, bind := range []string{"bycore", "bynode"} {
+			for _, block := range []int{64, 5000, 70000} {
+				for _, root := range []int{0, 7} {
+					name := fmt.Sprintf("%s/%s/%dB/root%d", mod.Name(), bind, block, root)
+					t.Run(name, func(t *testing.T) {
+						const np = 12
+						w := labWorld(t, 3, 1, 4, bind, np)
+						var got []byte
+						err := w.Run(func(p *mpi.Proc) {
+							c := w.WorldComm()
+							me := c.Rank(p)
+							sbuf := buffer.NewReal(pattern(me, block))
+							var rbuf *buffer.Buffer
+							if me == root {
+								rbuf = buffer.NewReal(make([]byte, block*np))
+							}
+							mod.Gather(p, c, sbuf, rbuf, root)
+							if me == root {
+								got = append([]byte(nil), rbuf.Data()...)
+							}
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for r := 0; r < np; r++ {
+							if !bytes.Equal(got[r*block:(r+1)*block], pattern(r, block)) {
+								t.Fatalf("block %d wrong at root", r)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestModulesAllreduceConformance(t *testing.T) {
+	for _, mod := range allModules() {
+		for _, bind := range []string{"bycore", "bynode"} {
+			for _, elems := range []int{32, 1000, 50000} {
+				name := fmt.Sprintf("%s/%s/%delems", mod.Name(), bind, elems)
+				t.Run(name, func(t *testing.T) {
+					const np = 12
+					w := labWorld(t, 3, 1, 4, bind, np)
+					want := make([]int64, elems)
+					for r := 0; r < np; r++ {
+						for i := range want {
+							want[i] += int64(r*7 + i)
+						}
+					}
+					bad := 0
+					err := w.Run(func(p *mpi.Proc) {
+						c := w.WorldComm()
+						me := c.Rank(p)
+						vals := make([]int64, elems)
+						for i := range vals {
+							vals[i] = int64(me*7 + i)
+						}
+						sbuf := buffer.Int64s(vals)
+						rbuf := buffer.Int64s(make([]int64, elems))
+						mod.Allreduce(p, c, coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Int64}, sbuf, rbuf)
+						got := buffer.AsInt64s(rbuf)
+						for i := range want {
+							if got[i] != want[i] {
+								bad++
+								break
+							}
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bad != 0 {
+						t.Fatalf("%d ranks computed wrong allreduce", bad)
+					}
+				})
+			}
+		}
+	}
+}
+
+// Scatter and Gather must also survive degenerate layouts.
+func TestExtendedDegenerateLayouts(t *testing.T) {
+	const block = 3000
+	layouts := []struct {
+		name         string
+		nodes, cores int
+		np           int
+		bind         string
+	}{
+		{"single-node", 1, 8, 8, "bycore"},
+		{"one-per-node", 4, 2, 4, "bynode"},
+		{"partial", 3, 4, 7, "bycore"},
+	}
+	for _, mod := range allModules() {
+		for _, lay := range layouts {
+			t.Run(fmt.Sprintf("%s/%s", mod.Name(), lay.name), func(t *testing.T) {
+				w := labWorld(t, lay.nodes, 1, lay.cores, lay.bind, lay.np)
+				bad := 0
+				err := w.Run(func(p *mpi.Proc) {
+					c := w.WorldComm()
+					me := c.Rank(p)
+					var sbuf *buffer.Buffer
+					if me == 0 {
+						all := make([]byte, block*lay.np)
+						for r := 0; r < lay.np; r++ {
+							copy(all[r*block:(r+1)*block], pattern(r, block))
+						}
+						sbuf = buffer.NewReal(all)
+					}
+					rbuf := buffer.NewReal(make([]byte, block))
+					mod.Scatter(p, c, sbuf, rbuf, 0)
+					if !bytes.Equal(rbuf.Data(), pattern(me, block)) {
+						bad++
+					}
+					// Round-trip: gather the scattered blocks back.
+					var gbuf *buffer.Buffer
+					if me == 0 {
+						gbuf = buffer.NewReal(make([]byte, block*lay.np))
+					}
+					mod.Gather(p, c, rbuf, gbuf, 0)
+					if me == 0 && sbuf != nil && !bytes.Equal(gbuf.Data(), sbuf.Data()) {
+						bad++
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bad != 0 {
+					t.Fatalf("%d failures", bad)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,54 @@
+// Package modules implements the collective "personalities" the HierKNEM
+// paper benchmarks against, each reproducing the algorithm-selection
+// behavior of a real MPI library of the era:
+//
+//   - Tuned     — Open MPI 1.5's topology-unaware decision-table module
+//   - Hierarch  — Open MPI's two-level leader module (copy-in/copy-out
+//     intra-node phases, no inter/intra overlap)
+//   - MPICH2    — MPICH2 1.4's flat Thakur–Gropp algorithms
+//   - MVAPICH2  — MVAPICH2 1.7's SMP-aware two-level designs
+//
+// The HierKNEM module itself lives in internal/core; it satisfies the same
+// Module interface.
+//
+// Quirks encode measured software artifacts the paper reports: the serialized
+// send/recv progress of the TCP stack (Tuned Allgather's ~50% Ethernet loss,
+// section IV-F) and the per-send reduction penalty of Open MPI on InfiniBand
+// (section IV-E's 515 µs vs 281 µs profile).
+package modules
+
+import (
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/mpi"
+)
+
+// Module is the common interface of every collective component. Beyond the
+// paper's three evaluated operations (Bcast, Reduce, Allgather) it covers
+// the extension set a production release ships: Scatter, Gather and
+// Allreduce.
+type Module interface {
+	Name() string
+	Bcast(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer, root int)
+	Reduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rbuf *buffer.Buffer, root int)
+	Allgather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer)
+	// Scatter distributes root's sbuf (size*block, comm-rank order) so
+	// each rank receives its block in rbuf.
+	Scatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, root int)
+	// Gather collects every rank's sbuf block into root's rbuf
+	// (comm-rank order).
+	Gather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, root int)
+	// Allreduce leaves the full reduction in every rank's rbuf.
+	Allreduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rbuf *buffer.Buffer)
+}
+
+// Quirks model measured software artifacts of specific stacks on specific
+// networks.
+type Quirks struct {
+	// SerializedRing makes ring exchanges progress send-then-receive
+	// instead of full duplex (single-threaded TCP progress engines).
+	SerializedRing bool
+	// ReducePerHop is an extra sender CPU cost per message on the
+	// reduction path (Open MPI's Tuned reduce defect on InfiniBand).
+	ReducePerHop float64
+}

@@ -1,0 +1,325 @@
+package modules
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/core"
+	"hierknem/internal/mpi"
+	"hierknem/internal/topology"
+)
+
+func labSpec(nodes, sockets, cores int) topology.Spec {
+	return topology.Spec{
+		Name:              "lab",
+		Nodes:             nodes,
+		SocketsPerNode:    sockets,
+		CoresPerSocket:    cores,
+		MemBandwidth:      10e9,
+		CoreCopyBandwidth: 3e9,
+		L3Bandwidth:       6e9,
+		L3Size:            12 << 20,
+		ShmLatency:        1e-6,
+		NetBandwidth:      1e9,
+		NetLatency:        10e-6,
+		NetFullDuplex:     true,
+		EagerThreshold:    4096,
+	}
+}
+
+func labWorld(t *testing.T, nodes, sockets, cores int, bind string, np int) *mpi.World {
+	t.Helper()
+	m, err := topology.Build(labSpec(nodes, sockets, cores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b *topology.Binding
+	switch bind {
+	case "bycore":
+		b, err = topology.ByCore(m, np)
+	case "bynode":
+		b, err = topology.ByNode(m, np)
+	default:
+		t.Fatalf("unknown binding %s", bind)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(m, b, mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func allModules() []Module {
+	return []Module{
+		Tuned(Quirks{}),
+		Hierarch(Quirks{}),
+		MPICH2(Quirks{}),
+		MVAPICH2(),
+		core.New(core.Options{}),
+	}
+}
+
+func pattern(rank, n int) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte((rank*37 + i*11 + 5) % 251)
+	}
+	return d
+}
+
+func TestModulesBcastConformance(t *testing.T) {
+	sizes := []int{100, 5000, 70000, 600000}
+	for _, mod := range allModules() {
+		for _, bind := range []string{"bycore", "bynode"} {
+			for _, size := range sizes {
+				for _, root := range []int{0, 5} {
+					name := fmt.Sprintf("%s/%s/%dB/root%d", mod.Name(), bind, size, root)
+					t.Run(name, func(t *testing.T) {
+						w := labWorld(t, 3, 1, 4, bind, 12)
+						want := pattern(99, size)
+						bad := 0
+						err := w.Run(func(p *mpi.Proc) {
+							c := w.WorldComm()
+							var buf *buffer.Buffer
+							if c.Rank(p) == root {
+								buf = buffer.NewReal(append([]byte(nil), want...))
+							} else {
+								buf = buffer.NewReal(make([]byte, size))
+							}
+							mod.Bcast(p, c, buf, root)
+							if !bytes.Equal(buf.Data(), want) {
+								bad++
+							}
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if bad != 0 {
+							t.Fatalf("%d ranks received wrong data", bad)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestModulesReduceConformance(t *testing.T) {
+	sizes := []int{64, 1024, 8192, 100000} // element counts (int64)
+	for _, mod := range allModules() {
+		for _, bind := range []string{"bycore", "bynode"} {
+			for _, elems := range sizes {
+				for _, root := range []int{0, 7} {
+					name := fmt.Sprintf("%s/%s/%delems/root%d", mod.Name(), bind, elems, root)
+					t.Run(name, func(t *testing.T) {
+						const np = 12
+						w := labWorld(t, 3, 1, 4, bind, np)
+						want := make([]int64, elems)
+						for r := 0; r < np; r++ {
+							for i := range want {
+								want[i] += int64(r + i)
+							}
+						}
+						var got []int64
+						err := w.Run(func(p *mpi.Proc) {
+							c := w.WorldComm()
+							me := c.Rank(p)
+							vals := make([]int64, elems)
+							for i := range vals {
+								vals[i] = int64(me + i)
+							}
+							sbuf := buffer.Int64s(vals)
+							var rbuf *buffer.Buffer
+							if me == root {
+								rbuf = buffer.Int64s(make([]int64, elems))
+							}
+							mod.Reduce(p, c, coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Int64}, sbuf, rbuf, root)
+							if me == root {
+								got = buffer.AsInt64s(rbuf)
+							}
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("elem %d = %d, want %d", i, got[i], want[i])
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestModulesAllgatherConformance(t *testing.T) {
+	blocks := []int{128, 4096, 60000}
+	for _, mod := range allModules() {
+		for _, bind := range []string{"bycore", "bynode"} {
+			for _, block := range blocks {
+				name := fmt.Sprintf("%s/%s/%dB", mod.Name(), bind, block)
+				t.Run(name, func(t *testing.T) {
+					const np = 12
+					w := labWorld(t, 3, 1, 4, bind, np)
+					bad := 0
+					err := w.Run(func(p *mpi.Proc) {
+						c := w.WorldComm()
+						me := c.Rank(p)
+						sbuf := buffer.NewReal(pattern(me, block))
+						rbuf := buffer.NewReal(make([]byte, block*np))
+						mod.Allgather(p, c, sbuf, rbuf)
+						for r := 0; r < np; r++ {
+							if !bytes.Equal(rbuf.Data()[r*block:(r+1)*block], pattern(r, block)) {
+								bad++
+							}
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if bad != 0 {
+						t.Fatalf("%d blocks wrong", bad)
+					}
+				})
+			}
+		}
+	}
+}
+
+// Hierarchical modules must also work when some nodes host a single rank
+// and when the communicator covers a single node.
+func TestModulesDegenerateLayouts(t *testing.T) {
+	layouts := []struct {
+		name                  string
+		nodes, sockets, cores int
+		np                    int
+		bind                  string
+	}{
+		{"single-node", 1, 2, 4, 8, "bycore"},
+		{"one-per-node", 4, 1, 4, 4, "bynode"},
+		{"uneven", 3, 1, 4, 7, "bycore"}, // node2 hosts none, node1 partial
+		{"two-ranks", 2, 1, 2, 2, "bynode"},
+	}
+	const size = 50000
+	for _, mod := range allModules() {
+		for _, lay := range layouts {
+			t.Run(fmt.Sprintf("%s/%s", mod.Name(), lay.name), func(t *testing.T) {
+				w := labWorld(t, lay.nodes, lay.sockets, lay.cores, lay.bind, lay.np)
+				want := pattern(1, size)
+				bad := 0
+				err := w.Run(func(p *mpi.Proc) {
+					c := w.WorldComm()
+					var buf *buffer.Buffer
+					if c.Rank(p) == 0 {
+						buf = buffer.NewReal(append([]byte(nil), want...))
+					} else {
+						buf = buffer.NewReal(make([]byte, size))
+					}
+					mod.Bcast(p, c, buf, 0)
+					if !bytes.Equal(buf.Data(), want) {
+						bad++
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bad != 0 {
+					t.Fatalf("%d ranks wrong", bad)
+				}
+			})
+		}
+	}
+}
+
+// Reduce on degenerate layouts.
+func TestModulesDegenerateReduce(t *testing.T) {
+	for _, mod := range allModules() {
+		for _, lay := range []struct {
+			name        string
+			nodes, np   int
+			coresPerNod int
+		}{
+			{"single-node", 1, 6, 6},
+			{"one-per-node", 3, 3, 2},
+			{"two-per-node", 3, 6, 2},
+		} {
+			t.Run(fmt.Sprintf("%s/%s", mod.Name(), lay.name), func(t *testing.T) {
+				w := labWorld(t, lay.nodes, 1, lay.coresPerNod, "bycore", lay.np)
+				const elems = 2000
+				want := make([]int64, elems)
+				for r := 0; r < lay.np; r++ {
+					for i := range want {
+						want[i] += int64(r*3 + i)
+					}
+				}
+				var got []int64
+				err := w.Run(func(p *mpi.Proc) {
+					c := w.WorldComm()
+					me := c.Rank(p)
+					vals := make([]int64, elems)
+					for i := range vals {
+						vals[i] = int64(me*3 + i)
+					}
+					sbuf := buffer.Int64s(vals)
+					var rbuf *buffer.Buffer
+					if me == 0 {
+						rbuf = buffer.Int64s(make([]int64, elems))
+					}
+					mod.Reduce(p, c, coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Int64}, sbuf, rbuf, 0)
+					if me == 0 {
+						got = buffer.AsInt64s(rbuf)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("elem %d = %d, want %d", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// Repeated collectives on the same world must keep working (blackboard keys,
+// Seq counters, comm caching).
+func TestModulesRepeatedOps(t *testing.T) {
+	for _, mod := range allModules() {
+		t.Run(mod.Name(), func(t *testing.T) {
+			w := labWorld(t, 2, 1, 3, "bycore", 6)
+			const size = 20000
+			for iter := 0; iter < 3; iter++ {
+				want := pattern(iter, size)
+				bad := 0
+				err := w.Run(func(p *mpi.Proc) {
+					c := w.WorldComm()
+					var buf *buffer.Buffer
+					if c.Rank(p) == iter%6 {
+						buf = buffer.NewReal(append([]byte(nil), want...))
+					} else {
+						buf = buffer.NewReal(make([]byte, size))
+					}
+					mod.Bcast(p, c, buf, iter%6)
+					if !bytes.Equal(buf.Data(), want) {
+						bad++
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bad != 0 {
+					t.Fatalf("iter %d: %d ranks wrong", iter, bad)
+				}
+			}
+		})
+	}
+}

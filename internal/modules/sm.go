@@ -1,0 +1,107 @@
+package modules
+
+import (
+	"fmt"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/mpi"
+	"hierknem/internal/shm"
+	"hierknem/internal/topology"
+)
+
+// smShare is a blackboard record describing a buffer sitting in a shared
+// segment: who owns it and which NUMA socket it lives on.
+type smShare struct {
+	buf  *buffer.Buffer
+	sock *topology.Socket
+}
+
+// smBcastIntra is the legacy shared-memory intra-node broadcast: the leader
+// (lcomm rank 0) copies the whole message into the shared segment
+// (copy-in, charged to the leader), then every non-leader copies it out
+// (copy-out, concurrent). The leader is busy for the full copy-in and blocked
+// until the slowest copy-out finishes — the serialization HierKNEM removes.
+func smBcastIntra(p *mpi.Proc, lcomm *mpi.Comm, buf *buffer.Buffer) {
+	if lcomm.Size() <= 1 {
+		return
+	}
+	key := fmt.Sprintf("smbcast/%d", lcomm.Seq(p))
+	m := p.World().Machine
+	if lcomm.Rank(p) == 0 {
+		shm.Copy(p.DES(), m, p.Core(), p.Core().Socket, p.Core().Socket, buf.Len(), buf.ID())
+		lcomm.BBPost(p, key, smShare{buf: buf, sock: p.Core().Socket})
+		lcomm.Barrier(p) // release readers
+		lcomm.Barrier(p) // wait for readers to finish
+		lcomm.BBClear(key)
+		return
+	}
+	lcomm.Barrier(p)
+	sh := lcomm.BBWait(p, key).(smShare)
+	shm.CopyBuffer(p.DES(), m, p.Core(), sh.sock, p.Core().Socket, sh.buf, buf)
+	lcomm.Barrier(p)
+}
+
+// smReduceIntra is the legacy shared-memory intra-node reduction: every
+// non-leader copies its contribution into the shared segment, then the
+// leader folds the contributions in sequentially — (k-1) reductions on the
+// leader's core, the hot spot the paper's Figure 4 discussion blames.
+// The reduced result lands in acc (leader only); acc must already contain
+// the leader's own contribution.
+func smReduceIntra(p *mpi.Proc, lcomm *mpi.Comm, a coll.ReduceArgs, sbuf, acc *buffer.Buffer) {
+	if lcomm.Size() <= 1 {
+		return
+	}
+	seq := lcomm.Seq(p)
+	m := p.World().Machine
+	me := lcomm.Rank(p)
+	if me != 0 {
+		// copy-in my contribution (bounce buffer in my socket).
+		shm.Copy(p.DES(), m, p.Core(), p.Core().Socket, p.Core().Socket, sbuf.Len(), sbuf.ID())
+		lcomm.BBPost(p, fmt.Sprintf("smreduce/%d/%d", seq, me), smShare{buf: sbuf, sock: p.Core().Socket})
+		lcomm.Barrier(p) // contributions ready
+		lcomm.Barrier(p) // leader done
+		return
+	}
+	lcomm.Barrier(p)
+	for r := 1; r < lcomm.Size(); r++ {
+		key := fmt.Sprintf("smreduce/%d/%d", seq, r)
+		sh := lcomm.BBWait(p, key).(smShare)
+		p.ReduceLocal(a.Op, a.Dtype, acc, sh.buf)
+		lcomm.BBClear(key)
+	}
+	lcomm.Barrier(p)
+}
+
+// smGatherIntra gathers every member's block into the leader's rbuf
+// (rank-order layout within the node group): members copy-in, the leader
+// copies each block out sequentially.
+func smGatherIntra(p *mpi.Proc, lcomm *mpi.Comm, sbuf, rbuf *buffer.Buffer) {
+	if lcomm.Size() <= 1 {
+		if lcomm.Rank(p) == 0 {
+			rbuf.Slice(0, sbuf.Len()).CopyFrom(sbuf)
+		}
+		return
+	}
+	seq := lcomm.Seq(p)
+	m := p.World().Machine
+	me := lcomm.Rank(p)
+	block := sbuf.Len()
+	if me != 0 {
+		shm.Copy(p.DES(), m, p.Core(), p.Core().Socket, p.Core().Socket, block, sbuf.ID())
+		lcomm.BBPost(p, fmt.Sprintf("smgather/%d/%d", seq, me), smShare{buf: sbuf, sock: p.Core().Socket})
+		lcomm.Barrier(p)
+		lcomm.Barrier(p)
+		return
+	}
+	rbuf.Slice(0, block).CopyFrom(sbuf)
+	lcomm.Barrier(p)
+	for r := 1; r < lcomm.Size(); r++ {
+		key := fmt.Sprintf("smgather/%d/%d", seq, r)
+		sh := lcomm.BBWait(p, key).(smShare)
+		dst := rbuf.Slice(int64(r)*block, block)
+		shm.CopyBuffer(p.DES(), m, p.Core(), sh.sock, p.Core().Socket, sh.buf, dst)
+		lcomm.BBClear(key)
+	}
+	lcomm.Barrier(p)
+}

@@ -1,0 +1,170 @@
+package modules
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/core"
+	"hierknem/internal/mpi"
+)
+
+// TestTortureRandomSequences drives every module through random sequences
+// of collectives (random ops, sizes, roots) on a single world — the pattern
+// real applications produce — and verifies data after every operation.
+// It exercises blackboard-key sequencing, hierarchy caching, tag reuse and
+// repeated Split correctness.
+func TestTortureRandomSequences(t *testing.T) {
+	mods := []Module{
+		Tuned(Quirks{}),
+		Hierarch(Quirks{}),
+		MPICH2(Quirks{}),
+		MVAPICH2(),
+		core.New(core.Options{}),
+		core.New(core.Options{CacheTopology: true}),
+	}
+	for mi, mod := range mods {
+		name := mod.Name()
+		if mi == 5 {
+			name += "-cached"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + mi)))
+			const np = 12
+			w := labWorld(t, 3, 1, 4, "bycore", np)
+			for step := 0; step < 12; step++ {
+				op := rng.Intn(4)
+				size := []int{64, 2000, 9000, 40000}[rng.Intn(4)]
+				root := rng.Intn(np)
+				var failures int
+				err := w.Run(func(p *mpi.Proc) {
+					c := w.WorldComm()
+					me := c.Rank(p)
+					switch op {
+					case 0: // bcast
+						want := pattern(step, size)
+						var buf *buffer.Buffer
+						if me == root {
+							buf = buffer.NewReal(append([]byte(nil), want...))
+						} else {
+							buf = buffer.NewReal(make([]byte, size))
+						}
+						mod.Bcast(p, c, buf, root)
+						if !bytes.Equal(buf.Data(), want) {
+							failures++
+						}
+					case 1: // reduce
+						elems := size / 8
+						vals := make([]int64, elems)
+						for i := range vals {
+							vals[i] = int64(me*step + i)
+						}
+						sbuf := buffer.Int64s(vals)
+						var rbuf *buffer.Buffer
+						if me == root {
+							rbuf = buffer.Int64s(make([]int64, elems))
+						}
+						mod.Reduce(p, c, coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Int64}, sbuf, rbuf, root)
+						if me == root {
+							got := buffer.AsInt64s(rbuf)
+							for i := range got {
+								want := int64(0)
+								for r := 0; r < np; r++ {
+									want += int64(r*step + i)
+								}
+								if got[i] != want {
+									failures++
+									break
+								}
+							}
+						}
+					case 2: // allgather
+						sbuf := buffer.NewReal(pattern(me+step, size))
+						rbuf := buffer.NewReal(make([]byte, size*np))
+						mod.Allgather(p, c, sbuf, rbuf)
+						for r := 0; r < np; r++ {
+							if !bytes.Equal(rbuf.Data()[r*size:(r+1)*size], pattern(r+step, size)) {
+								failures++
+								break
+							}
+						}
+					case 3: // allreduce
+						elems := size / 8
+						vals := make([]int64, elems)
+						for i := range vals {
+							vals[i] = int64(me ^ (i + step))
+						}
+						sbuf := buffer.Int64s(vals)
+						rbuf := buffer.Int64s(make([]int64, elems))
+						mod.Allreduce(p, c, coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Int64}, sbuf, rbuf)
+						got := buffer.AsInt64s(rbuf)
+						for i := range got {
+							want := int64(0)
+							for r := 0; r < np; r++ {
+								want += int64(r ^ (i + step))
+							}
+							if got[i] != want {
+								failures++
+								break
+							}
+						}
+					}
+				})
+				if err != nil {
+					t.Fatalf("step %d (op %d size %d root %d): %v", step, op, size, root, err)
+				}
+				if failures != 0 {
+					t.Fatalf("step %d (op %d size %d root %d): %d ranks wrong", step, op, size, root, failures)
+				}
+			}
+		})
+	}
+}
+
+// TestTortureSubCommunicators runs collectives on split sub-communicators
+// (odd/even ranks), which cross node boundaries irregularly.
+func TestTortureSubCommunicators(t *testing.T) {
+	for _, mod := range allModules() {
+		t.Run(mod.Name(), func(t *testing.T) {
+			const np = 12
+			w := labWorld(t, 3, 1, 4, "bycore", np)
+			const size = 12000
+			bad := 0
+			err := w.Run(func(p *mpi.Proc) {
+				world := w.WorldComm()
+				me := world.Rank(p)
+				sub := world.Split(p, me%2, me)
+				want := pattern(me%2, size)
+				var buf *buffer.Buffer
+				if sub.Rank(p) == 0 {
+					buf = buffer.NewReal(append([]byte(nil), want...))
+				} else {
+					buf = buffer.NewReal(make([]byte, size))
+				}
+				mod.Bcast(p, sub, buf, 0)
+				if !bytes.Equal(buf.Data(), want) {
+					bad++
+				}
+				// And an allgather on the sub-communicator.
+				sbuf := buffer.NewReal(pattern(me, 777))
+				rbuf := buffer.NewReal(make([]byte, 777*sub.Size()))
+				mod.Allgather(p, sub, sbuf, rbuf)
+				for r := 0; r < sub.Size(); r++ {
+					worldRank := sub.WorldRank(r)
+					if !bytes.Equal(rbuf.Data()[r*777:(r+1)*777], pattern(worldRank, 777)) {
+						bad++
+						break
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad != 0 {
+				t.Fatalf("%d failures on sub-communicators", bad)
+			}
+		})
+	}
+}

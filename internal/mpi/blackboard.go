@@ -1,0 +1,71 @@
+package mpi
+
+// Blackboard support: collective implementations on shared-memory nodes
+// exchange control values (buffer addresses, KNEM cookies) through a shared
+// segment whose address is known to every local process. BBPost/BBWait model
+// exactly that: a zero-copy control channel. They carry no data-movement
+// cost — callers charge whatever latency their protocol implies (HierKNEM,
+// for instance, pays a cookie-broadcast on lcomm).
+//
+// Seq provides per-process per-communicator operation counters so SPMD code
+// can derive matching blackboard keys without communicating: every member
+// executes the same sequence of collectives on a communicator, so the n-th
+// call at one rank pairs with the n-th call at every other rank.
+
+type bbEntry struct {
+	val     any
+	present bool
+	waiters []*Proc
+}
+
+// BBPost publishes v under key on the communicator's blackboard, waking any
+// BBWait-ers. Posting an existing key overwrites it.
+func (c *Comm) BBPost(p *Proc, key string, v any) {
+	if c.bb == nil {
+		c.bb = make(map[string]*bbEntry)
+	}
+	e := c.bb[key]
+	if e == nil {
+		e = &bbEntry{}
+		c.bb[key] = e
+	}
+	e.val = v
+	e.present = true
+	for _, w := range e.waiters {
+		w.dp.Wake()
+	}
+	e.waiters = nil
+}
+
+// BBWait blocks until key is posted and returns its value.
+func (c *Comm) BBWait(p *Proc, key string) any {
+	if c.bb == nil {
+		c.bb = make(map[string]*bbEntry)
+	}
+	e := c.bb[key]
+	if e == nil {
+		e = &bbEntry{}
+		c.bb[key] = e
+	}
+	for !e.present {
+		e.waiters = append(e.waiters, p)
+		p.dp.Park()
+	}
+	return e.val
+}
+
+// BBClear removes a key (typically by the last reader, after a barrier).
+func (c *Comm) BBClear(key string) {
+	delete(c.bb, key)
+}
+
+// Seq returns an increasing per-(process, communicator) call counter,
+// aligned across ranks by SPMD execution order.
+func (c *Comm) Seq(p *Proc) int {
+	if c.seqs == nil {
+		c.seqs = make(map[int]int)
+	}
+	n := c.seqs[p.rank]
+	c.seqs[p.rank] = n + 1
+	return n
+}

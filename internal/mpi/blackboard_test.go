@@ -1,0 +1,150 @@
+package mpi
+
+import (
+	"testing"
+
+	"hierknem/internal/topology"
+)
+
+func bbWorld(t *testing.T) *World {
+	t.Helper()
+	m, err := topology.Build(toySpec(1, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := topology.ByCore(m, 4)
+	w, err := NewWorld(m, b, toyConf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBBPostThenWait(t *testing.T) {
+	w := bbWorld(t)
+	var got any
+	err := w.Run(func(p *Proc) {
+		c := w.WorldComm()
+		if p.Rank() == 0 {
+			c.BBPost(p, "k", 42)
+		} else if p.Rank() == 1 {
+			got = c.BBWait(p, "k")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBBWaitBlocksUntilPost(t *testing.T) {
+	w := bbWorld(t)
+	var gotAt float64
+	err := w.Run(func(p *Proc) {
+		c := w.WorldComm()
+		switch p.Rank() {
+		case 0:
+			p.Compute(5)
+			c.BBPost(p, "late", "v")
+		case 1:
+			_ = c.BBWait(p, "late")
+			gotAt = p.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != 5 {
+		t.Fatalf("waiter resumed at %g, want 5", gotAt)
+	}
+}
+
+func TestBBMultipleWaiters(t *testing.T) {
+	w := bbWorld(t)
+	count := 0
+	err := w.Run(func(p *Proc) {
+		c := w.WorldComm()
+		if p.Rank() == 0 {
+			p.Compute(1)
+			c.BBPost(p, "x", 7)
+			return
+		}
+		if c.BBWait(p, "x") == 7 {
+			count++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestBBClearRemovesKey(t *testing.T) {
+	w := bbWorld(t)
+	var resumed bool
+	err := w.Run(func(p *Proc) {
+		c := w.WorldComm()
+		switch p.Rank() {
+		case 0:
+			c.BBPost(p, "tmp", 1)
+			c.BBClear("tmp")
+			// Re-post under the same key: a fresh value.
+			p.Compute(2)
+			c.BBPost(p, "tmp", 2)
+		case 1:
+			p.Compute(1) // after the clear
+			if c.BBWait(p, "tmp") == 2 {
+				resumed = true
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("waiter did not see the re-posted value")
+	}
+}
+
+func TestSeqAlignsAcrossRanks(t *testing.T) {
+	w := bbWorld(t)
+	seqs := make([][]int, 4)
+	err := w.Run(func(p *Proc) {
+		c := w.WorldComm()
+		me := c.Rank(p)
+		for i := 0; i < 3; i++ {
+			seqs[me] = append(seqs[me], c.Seq(p))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 3; i++ {
+			if seqs[r][i] != i {
+				t.Fatalf("rank %d call %d got seq %d", r, i, seqs[r][i])
+			}
+		}
+	}
+}
+
+func TestSeqIndependentPerComm(t *testing.T) {
+	w := bbWorld(t)
+	err := w.Run(func(p *Proc) {
+		c := w.WorldComm()
+		sub := c.Split(p, 0, c.Rank(p))
+		if c.Seq(p) != 0 || sub.Seq(p) != 0 {
+			t.Error("fresh comms should start at seq 0")
+		}
+		if c.Seq(p) != 1 {
+			t.Error("world comm seq should advance independently")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+package mpi
+
+import (
+	"fmt"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/des"
+	"hierknem/internal/fabric"
+	"hierknem/internal/topology"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Request tracks a pending non-blocking operation.
+type Request struct {
+	done    bool
+	waiters []*des.Proc
+	// overhead is per-message protocol CPU charged to the waiter once,
+	// when it collects the completed request (LogGP's receiver "o").
+	overhead float64
+}
+
+// Done reports completion (for Test-style polling).
+func (r *Request) Done() bool { return r.done }
+
+func (r *Request) complete() {
+	if r.done {
+		return
+	}
+	r.done = true
+	for _, w := range r.waiters {
+		w.Wake()
+	}
+	r.waiters = nil
+}
+
+// Wait blocks until the request completes, then absorbs any per-message
+// protocol CPU attached to it.
+func (p *Proc) Wait(r *Request) {
+	for !r.done {
+		r.waiters = append(r.waiters, p.dp)
+		p.dp.Park()
+	}
+	if r.overhead > 0 {
+		o := r.overhead
+		r.overhead = 0
+		p.dp.Sleep(o)
+	}
+}
+
+// WaitAll blocks until every request completes.
+func (p *Proc) WaitAll(rs ...*Request) {
+	for _, r := range rs {
+		if r != nil {
+			p.Wait(r)
+		}
+	}
+}
+
+// envelope is a message announced to (or arrived at) the destination.
+type envelope struct {
+	srcWorld  int
+	tag       int
+	ctx       int
+	buf       *buffer.Buffer // sender's payload view
+	size      int64
+	eager     bool
+	arrived   bool // eager inter-node payload landed before a recv was posted
+	preposted bool // the receive was already posted when the send started
+	sendReq   *Request
+	sender    *Proc
+}
+
+// posting is a posted receive awaiting a match.
+type posting struct {
+	srcWorld int // world rank or AnySource
+	tag      int
+	ctx      int
+	buf      *buffer.Buffer
+	req      *Request
+	receiver *Proc
+}
+
+func (env *envelope) matches(po *posting) bool {
+	return env.ctx == po.ctx &&
+		(po.srcWorld == AnySource || po.srcWorld == env.srcWorld) &&
+		(po.tag == AnyTag || po.tag == env.tag)
+}
+
+// Isend starts a non-blocking send of buf to dst (a rank of c) with tag.
+func (p *Proc) Isend(c *Comm, buf *buffer.Buffer, dst, tag int) *Request {
+	dstWorld := c.WorldRank(dst)
+	target := p.world.procs[dstWorld]
+	env := &envelope{
+		srcWorld: p.rank,
+		tag:      tag,
+		ctx:      c.ctx,
+		buf:      buf,
+		size:     buf.Len(),
+		sendReq:  &Request{},
+		sender:   p,
+	}
+	env.eager = env.size < p.world.Conf.EagerThreshold
+
+	interNode := p.core.NodeID != target.core.NodeID
+	if interNode {
+		// Sender-side per-message CPU overhead (LogGP "o"); rendezvous
+		// messages additionally pay protocol processing.
+		o := p.world.Conf.SendOverhead
+		if !env.eager {
+			o += p.world.Conf.RendezvousCPU
+		}
+		p.dp.Sleep(o)
+		p.world.BytesCross += env.size
+	}
+
+	if env.eager {
+		if !interNode {
+			// copy-in to the shared segment by the sender core.
+			p.shmCopy(p.core, p.core.Socket, p.core.Socket, env.size, env.buf.ID())
+		}
+		env.sendReq.complete() // buffered: sender is free
+	}
+
+	if po := target.matchPosting(env); po != nil {
+		// The receive was preposted: a rendezvous can start immediately
+		// (the RTS finds a waiting match), so no handshake round trip.
+		env.preposted = true
+		p.world.startTransfer(env, po)
+	} else {
+		if env.eager && interNode {
+			// The payload crosses the wire immediately; mark arrival so a
+			// late receive only pays the unload, not the flight.
+			p.world.eagerFlight(env, target, func() { env.arrived = true })
+		}
+		target.unexpected = append(target.unexpected, env)
+	}
+	return env.sendReq
+}
+
+// Send is the blocking form of Isend.
+func (p *Proc) Send(c *Comm, buf *buffer.Buffer, dst, tag int) {
+	p.Wait(p.Isend(c, buf, dst, tag))
+}
+
+// Irecv starts a non-blocking receive into buf from src (rank of c, or
+// AnySource) with tag (or AnyTag).
+func (p *Proc) Irecv(c *Comm, buf *buffer.Buffer, src, tag int) *Request {
+	srcWorld := src
+	if src != AnySource {
+		srcWorld = c.WorldRank(src)
+	}
+	po := &posting{srcWorld: srcWorld, tag: tag, ctx: c.ctx, buf: buf, req: &Request{}, receiver: p}
+	if env := p.matchUnexpected(po); env != nil {
+		p.world.startTransfer(env, po)
+	} else {
+		p.posted = append(p.posted, po)
+	}
+	return po.req
+}
+
+// Recv is the blocking form of Irecv.
+func (p *Proc) Recv(c *Comm, buf *buffer.Buffer, src, tag int) {
+	p.Wait(p.Irecv(c, buf, src, tag))
+}
+
+// SendRecv posts the receive, sends, then waits on both — full-duplex when
+// the transports allow it.
+func (p *Proc) SendRecv(c *Comm, sendBuf *buffer.Buffer, dst, sendTag int, recvBuf *buffer.Buffer, src, recvTag int) {
+	r := p.Irecv(c, recvBuf, src, recvTag)
+	s := p.Isend(c, sendBuf, dst, sendTag)
+	p.Wait(r)
+	p.Wait(s)
+}
+
+func (p *Proc) matchPosting(env *envelope) *posting {
+	for i, po := range p.posted {
+		if env.matches(po) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			return po
+		}
+	}
+	return nil
+}
+
+func (p *Proc) matchUnexpected(po *posting) *envelope {
+	for i, env := range p.unexpected {
+		if env.matches(po) {
+			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			return env
+		}
+	}
+	return nil
+}
+
+// smallCopyCutoff is the size below which intra-node copies bypass the
+// fabric: a sub-4 KiB copy lasts ~1 µs and contributes negligible bus load,
+// while installing a flow for it costs a full max-min recomputation. Fine-
+// grained workloads (ring exchanges of tiny blocks across hundreds of ranks)
+// would otherwise spend almost all simulation wall time in the fabric.
+const smallCopyCutoff = 4096
+
+// shmCopy charges one intra-node memory copy to core (blocking p) without
+// moving payload bytes; callers move data separately.
+func (p *Proc) shmCopy(core *topology.Core, srcSock, dstSock *topology.Socket, n int64, srcID uint64) {
+	spec := &p.world.Machine.Spec
+	if n <= 0 {
+		p.dp.Sleep(spec.ShmLatency)
+		return
+	}
+	srcRes, rate := srcSock.ReadSide(spec, srcID, n, core.Socket == srcSock)
+	if n < smallCopyCutoff {
+		p.dp.Sleep(spec.ShmLatency + float64(n)/rate)
+		return
+	}
+	path := []*fabric.Resource{srcRes, dstSock.MemBus}
+	des.Await(p.dp, func(done func()) {
+		p.world.Machine.Fab.StartAfterClassed("copy", spec.ShmLatency, float64(n), rate, path, done)
+	})
+}
+
+// startTransfer moves the payload for a matched (envelope, posting) pair and
+// completes the requests. Runs in engine context.
+func (w *World) startTransfer(env *envelope, po *posting) {
+	if env.size != po.buf.Len() {
+		panic(fmt.Sprintf("mpi: send size %d != recv size %d (src %d tag %d)",
+			env.size, po.buf.Len(), env.srcWorld, env.tag))
+	}
+	src := env.sender.core
+	dst := po.receiver.core
+	spec := &w.Machine.Spec
+	finish := func() {
+		po.buf.CopyFrom(env.buf)
+		dst.Socket.Touch(po.buf.ID(), po.buf.Len())
+		env.sendReq.complete()
+		po.req.complete()
+	}
+
+	if src.NodeID == dst.NodeID {
+		if env.eager {
+			// copy-out from the shared segment by the receiver core; the
+			// copy-in already happened at Isend time (bounce buffers are
+			// not tracked for residency). Small copies bypass the fabric
+			// (see smallCopyCutoff).
+			rate := spec.CoreCopyBandwidth
+			if env.size < smallCopyCutoff {
+				w.Machine.Eng.After(spec.ShmLatency+float64(env.size)/rate, finish)
+				return
+			}
+			path := []*fabric.Resource{src.Socket.MemBus, dst.Socket.MemBus}
+			w.Machine.Fab.StartAfterClassed("copy", spec.ShmLatency, float64(env.size), rate, path, finish)
+			return
+		}
+		// KNEM LMT single copy, executed by the receiver core.
+		srcRes, rate := src.Socket.ReadSide(spec, env.buf.ID(), env.size, src.Socket == dst.Socket)
+		path := []*fabric.Resource{srcRes, dst.Socket.MemBus}
+		w.Machine.Fab.StartAfterClassed("copy", spec.ShmLatency, float64(env.size), rate, path, finish)
+		return
+	}
+
+	if env.eager {
+		if env.arrived {
+			// Payload already landed; unloading is effectively free.
+			w.Machine.Eng.At(w.Machine.Eng.Now(), finish)
+			return
+		}
+		w.eagerFlight(env, po.receiver, finish)
+		return
+	}
+	// Rendezvous: the data flow, preceded by a handshake round trip when
+	// the receive was not preposted (the sender's RTS had to wait for the
+	// match before the CTS could be issued). The receiver pays protocol
+	// CPU when it collects the completion.
+	po.req.overhead = w.Conf.RendezvousCPU
+	delay := spec.NetLatency
+	if !env.preposted {
+		delay += w.Conf.RendezvousHandshake
+	}
+	w.Machine.Fab.StartAfterClassed("net", delay, float64(env.size), 0, w.netPath(env.sender, po.receiver), finish)
+}
+
+// eagerFlight launches the wire transfer of an eager inter-node message.
+func (w *World) eagerFlight(env *envelope, target *Proc, onArrive func()) {
+	spec := &w.Machine.Spec
+	w.Machine.Fab.StartAfterClassed("net", spec.NetLatency, float64(env.size), 0,
+		w.netPath(env.sender, target), onArrive)
+}
+
+// netPath is the resource chain of an inter-node transfer: source memory
+// bus, source NIC TX, optional backplane, destination NIC RX, destination
+// memory bus.
+func (w *World) netPath(src, dst *Proc) []*fabric.Resource {
+	sn := w.Machine.Nodes[src.core.NodeID]
+	dn := w.Machine.Nodes[dst.core.NodeID]
+	path := []*fabric.Resource{src.core.Socket.MemBus, sn.NicTx}
+	if w.Machine.Backplane != nil {
+		path = append(path, w.Machine.Backplane)
+	}
+	path = append(path, dn.NicRx, dst.core.Socket.MemBus)
+	return path
+}

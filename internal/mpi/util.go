@@ -1,0 +1,29 @@
+package mpi
+
+import "hierknem/internal/buffer"
+
+// emptyBuf returns a fresh zero-byte phantom buffer for control messages.
+func emptyBuf() *buffer.Buffer { return buffer.NewPhantom(0) }
+
+// CeilDiv returns ceil(a/b) for positive b.
+func CeilDiv(a, b int64) int64 {
+	if b <= 0 {
+		panic("mpi: CeilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+// SegmentBounds returns the byte offset and length of segment i when a
+// message of total bytes is split into segments of segSize (the last segment
+// may be short).
+func SegmentBounds(total, segSize int64, i int64) (off, n int64) {
+	off = i * segSize
+	if off >= total {
+		return total, 0
+	}
+	n = segSize
+	if off+n > total {
+		n = total - off
+	}
+	return off, n
+}

@@ -1,0 +1,170 @@
+// Package mpi is a simulated MPI runtime: ranks, communicators, non-blocking
+// point-to-point messaging with eager and rendezvous protocols, barriers and
+// reduction arithmetic — all executing in virtual time on the des engine of
+// a topology.Machine.
+//
+// Each rank is a des process bound to a core by a topology.Binding. Message
+// transport is chosen by peer locality, mirroring the configuration in the
+// HierKNEM paper: intra-node messages use the SM/KNEM byte-transfer layer
+// (copy-in/copy-out under the eager threshold, single-copy above it) and
+// inter-node messages use the network (TCP or IB verbs personality), loading
+// NIC and memory-bus fabric resources so collectives experience realistic
+// contention.
+package mpi
+
+import (
+	"fmt"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/des"
+	"hierknem/internal/fabric"
+	"hierknem/internal/knem"
+	"hierknem/internal/topology"
+)
+
+// Config tunes the software stack (as opposed to topology.Spec, which is
+// hardware). Zero values select defaults.
+type Config struct {
+	// EagerThreshold switches p2p from eager to rendezvous. Default: the
+	// machine spec's threshold, or 4 KiB.
+	EagerThreshold int64
+	// SendOverhead is the per-message sender CPU cost for inter-node
+	// messages (the "o" of LogGP). Default 1 µs.
+	SendOverhead float64
+	// ReduceBandwidth is the per-core streaming rate of reduction
+	// arithmetic. Default: the core copy bandwidth.
+	ReduceBandwidth float64
+	// RendezvousHandshake is the extra latency before a matched
+	// rendezvous transfer starts. Default: one network latency.
+	RendezvousHandshake float64
+	// RendezvousCPU is the per-message protocol-processing cost a
+	// rendezvous (large) inter-node message charges to each endpoint's
+	// core: RTS/CTS handling, registration, progress-engine work. It is
+	// what makes too-small pipeline segments expensive (the left side of
+	// the paper's Figure 1 U-curve). Default 0; cluster personalities
+	// calibrate it (see internal/clusters).
+	RendezvousCPU float64
+}
+
+func (c Config) withDefaults(spec *topology.Spec) Config {
+	if c.EagerThreshold == 0 {
+		c.EagerThreshold = spec.EagerThreshold
+		if c.EagerThreshold == 0 {
+			c.EagerThreshold = 4096
+		}
+	}
+	if c.SendOverhead == 0 {
+		c.SendOverhead = 1e-6
+	}
+	if c.ReduceBandwidth == 0 {
+		c.ReduceBandwidth = spec.CoreCopyBandwidth
+	}
+	if c.RendezvousHandshake == 0 {
+		c.RendezvousHandshake = spec.NetLatency
+	}
+	return c
+}
+
+// World is one simulated MPI job.
+type World struct {
+	Machine *topology.Machine
+	Binding *topology.Binding
+	Conf    Config
+	Knem    []*knem.Device
+
+	procs     []*Proc
+	nextCtx   int
+	worldComm *Comm
+
+	// BytesCross counts payload bytes sent over inter-node links, a
+	// cheap cross-check for algorithm traffic volume.
+	BytesCross int64
+}
+
+// Proc is one simulated MPI process. Collective and application code runs in
+// its body function and calls methods on Proc.
+type Proc struct {
+	world *World
+	rank  int
+	core  *topology.Core
+	dp    *des.Proc
+
+	posted     []*posting // posted receives, FIFO
+	unexpected []*envelope
+}
+
+// NewWorld creates a world over machine m with np = binding.NP() ranks.
+func NewWorld(m *topology.Machine, b *topology.Binding, conf Config) (*World, error) {
+	if err := b.Validate(m); err != nil {
+		return nil, err
+	}
+	w := &World{
+		Machine: m,
+		Binding: b,
+		Conf:    conf.withDefaults(&m.Spec),
+		Knem:    knem.Devices(m),
+	}
+	w.procs = make([]*Proc, b.NP())
+	for r := range w.procs {
+		w.procs[r] = &Proc{world: w, rank: r, core: b.Core(m, r)}
+	}
+	return w, nil
+}
+
+// Run executes body as an SPMD program on every rank and drives the engine
+// until completion. It may be called repeatedly on the same world (e.g. one
+// benchmark phase per call); virtual time keeps advancing.
+func (w *World) Run(body func(p *Proc)) error {
+	for _, p := range w.procs {
+		p := p
+		p.dp = w.Machine.Eng.Spawn(fmt.Sprintf("rank%d", p.rank), func(dp *des.Proc) {
+			body(p)
+		})
+	}
+	return w.Machine.Eng.Run()
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Proc returns the process for a world rank.
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// Now returns the current virtual time.
+func (w *World) Now() float64 { return w.Machine.Eng.Now() }
+
+// Rank returns the world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Core returns the core this rank is bound to.
+func (p *Proc) Core() *topology.Core { return p.core }
+
+// World returns the owning world.
+func (p *Proc) World() *World { return p.world }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.dp.Now() }
+
+// Compute blocks the rank for d seconds of CPU work.
+func (p *Proc) Compute(d float64) { p.dp.Sleep(d) }
+
+// Knem returns the KNEM device of this rank's node.
+func (p *Proc) Knem() *knem.Device { return p.world.Knem[p.core.NodeID] }
+
+// DES exposes the underlying des process for advanced composition.
+func (p *Proc) DES() *des.Proc { return p.dp }
+
+// ReduceLocal applies dst = op(dst, src), charging reduction arithmetic to
+// this rank's core: the flow reads two streams and writes one through the
+// local memory bus at the configured reduction bandwidth.
+func (p *Proc) ReduceLocal(op buffer.Op, dtype buffer.Datatype, dst, src *buffer.Buffer) {
+	n := dst.Len()
+	if n > 0 {
+		bus := p.core.Socket.MemBus
+		path := []*fabric.Resource{bus, bus, bus}
+		des.Await(p.dp, func(done func()) {
+			p.world.Machine.Fab.StartClassed("compute", float64(n), p.world.Conf.ReduceBandwidth, path, done)
+		})
+	}
+	buffer.Reduce(op, dtype, dst, src)
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"testing"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/core"
+	"hierknem/internal/modules"
+	"hierknem/internal/mpi"
+	"hierknem/internal/topology"
+)
+
+// paper-shaped mini cluster: 8 Ethernet nodes of 2x6 cores.
+func overlapMachine(t *testing.T) (*topology.Machine, *mpi.World) {
+	t.Helper()
+	m, err := topology.Build(topology.Spec{
+		Name: "ovl", Nodes: 8, SocketsPerNode: 2, CoresPerSocket: 6,
+		MemBandwidth: 10e9, CoreCopyBandwidth: 3e9, L3Bandwidth: 6e9,
+		L3TotalBandwidth: 30e9, L3Size: 12 << 20, ShmLatency: 1e-6,
+		NetBandwidth: 125e6, NetLatency: 50e-6, NetFullDuplex: true,
+		EagerThreshold: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := topology.ByCore(m, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(m, b, mpi.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, w
+}
+
+func bcast2MB(t *testing.T, w *mpi.World, mod modules.Module) {
+	t.Helper()
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		mod.Bcast(p, c, buffer.NewPhantom(2<<20), 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's central claim, measured: HierKNEM hides intra-node copies
+// under inter-node forwarding; the sequential two-level Hierarch cannot.
+func TestHierKNEMOverlapsCopiesUnderNetwork(t *testing.T) {
+	pl := core.PipelineEthernet()
+	mHK, wHK := overlapMachine(t)
+	bcast2MB(t, wHK, core.New(core.Options{BcastPipeline: pl.Bcast}))
+	hk := MeasureOverlap(mHK)
+
+	mHier, wHier := overlapMachine(t)
+	bcast2MB(t, wHier, modules.Hierarch(modules.Quirks{}))
+	hier := MeasureOverlap(mHier)
+
+	if hk.CopyBusy <= 0 || hier.CopyBusy <= 0 {
+		t.Fatalf("no copy activity recorded: hk=%+v hier=%+v", hk, hier)
+	}
+	if hk.HiddenFraction() < 0.9 {
+		t.Fatalf("hierknem hides only %.0f%% of copy time under the network, want >= 90%%",
+			100*hk.HiddenFraction())
+	}
+	if hier.HiddenFraction() > hk.HiddenFraction() {
+		t.Fatalf("hierarch (%.0f%%) should not overlap better than hierknem (%.0f%%)",
+			100*hier.HiddenFraction(), 100*hk.HiddenFraction())
+	}
+	t.Logf("hidden copy fraction: hierknem %.1f%%, hierarch %.1f%%",
+		100*hk.HiddenFraction(), 100*hier.HiddenFraction())
+}
+
+func TestOverlapAccountingBasics(t *testing.T) {
+	m, w := overlapMachine(t)
+	bcast2MB(t, w, core.New(core.Options{}))
+	o := MeasureOverlap(m)
+	if o.Both > o.NetBusy+1e-12 || o.Both > o.CopyBusy+1e-12 {
+		t.Fatalf("overlap exceeds class busy times: %+v", o)
+	}
+	if o.NetBusy <= 0 {
+		t.Fatal("no network activity recorded")
+	}
+	elapsed := m.Eng.Now()
+	if o.NetBusy > elapsed+1e-12 || o.CopyBusy > elapsed+1e-12 {
+		t.Fatalf("class busy time exceeds elapsed time %g: %+v", elapsed, o)
+	}
+}

@@ -7,6 +7,7 @@
 //	asp                          # default: N=2048 on 8 Stremi nodes
 //	asp -n 4096 -nodes 16        # bigger problem
 //	asp -module hierknem -verify # verify against the sequential solver
+//	asp -verify -seed 7          # replay verification with another instance
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	cluster := flag.String("cluster", "stremi", "cluster: stremi or parapluie")
 	moduleName := flag.String("module", "", "run a single module (default: the full lineup)")
 	verify := flag.Bool("verify", false, "run a small real-data instance and check against the sequential solver")
+	seed := flag.Int64("seed", 42, "RNG seed for the -verify instance; a given seed always generates the same graph")
 	showTrace := flag.Bool("trace", false, "print the busiest simulated resources after each run")
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 	}
 
 	if *verify {
-		runVerify(spec, np, mods[0])
+		runVerify(spec, np, mods[0], *seed)
 		return
 	}
 
@@ -79,9 +81,9 @@ func main() {
 	}
 }
 
-func runVerify(spec hierknem.Spec, np int, mod hierknem.Module) {
+func runVerify(spec hierknem.Spec, np int, mod hierknem.Module, seed int64) {
 	const n = 64
-	rng := rand.New(rand.NewSource(42))
+	rng := rand.New(rand.NewSource(seed))
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
@@ -116,6 +118,6 @@ func runVerify(spec hierknem.Spec, np int, mod hierknem.Module) {
 			}
 		}
 	}
-	fmt.Printf("verified: %s solves a %dx%d instance identically to the sequential Floyd-Warshall\n",
-		mod.Name(), n, n)
+	fmt.Printf("verified: %s solves a %dx%d instance (seed %d) identically to the sequential Floyd-Warshall\n",
+		mod.Name(), n, n, seed)
 }

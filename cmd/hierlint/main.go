@@ -1,0 +1,86 @@
+// Command hierlint runs the simulator's custom static-analysis suite
+// (internal/lint) over Go packages and reports invariant violations:
+// wall-clock time or unseeded randomness inside internal/, leaked
+// Isend/Irecv requests, discarded module-API errors, and payload buffers
+// shared with unsynchronized goroutines.
+//
+// Usage:
+//
+//	hierlint ./...                 # lint the whole module (the CI gate)
+//	hierlint ./internal/coll       # one package
+//	hierlint -list                 # show the analyzer catalogue
+//	hierlint -run determinism ./...# run a single analyzer
+//
+// Exit status is 0 when clean, 1 when any diagnostic is reported, 2 on
+// usage or load errors. Suppress an individual finding with a
+// `//lint:ignore <analyzer> <reason>` comment on or above the line; see
+// docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hierknem/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "run only the named analyzer (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.Analyzers
+	if *run != "" {
+		a := lint.ByName(*run)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "hierlint: unknown analyzer %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		analyzers = []*lint.Analyzer{a}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hierlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hierlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, analyzers) {
+			found++
+			fmt.Println(relativize(cwd, d))
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "hierlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// relativize shortens absolute file paths to cwd-relative for readability.
+func relativize(cwd string, d lint.Diagnostic) string {
+	s := d.String()
+	prefix := cwd + string(filepath.Separator)
+	return strings.Replace(s, prefix, "", 1)
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// BufferEscapeAnalyzer flags a buffer that is simultaneously handed to a
+// collective and captured by a `go` statement's function literal with no
+// synchronization inside the literal. The DES engine runs simulated ranks
+// cooperatively — exactly one goroutine is runnable at a time — so process
+// code is lock-free *by construction*. A raw `go` literal escapes that
+// construction: it runs concurrently with the engine, and if it shares a
+// payload buffer with an in-flight collective the result is a data race on
+// simulated payload (caught only probabilistically by -race, and never by
+// the simulator itself, whose timing stays plausible while the data rots).
+//
+// A capture is excused when the literal body visibly synchronizes: any
+// channel operation, select statement, or call into package sync counts.
+// Everything else gets flagged at the `go` statement.
+var BufferEscapeAnalyzer = &Analyzer{
+	Name: "bufferescape",
+	Doc:  "flag buffers shared between a collective call and an unsynchronized goroutine",
+	Run:  runBufferEscape,
+}
+
+func runBufferEscape(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		for _, fd := range funcBodies(f) {
+			checkBufferEscape(pass, info, fd)
+		}
+	}
+}
+
+// isBufferish reports whether t is shared mutable payload: a slice, or a
+// pointer to the simulator's buffer.Buffer.
+func isBufferish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return true
+	case *types.Pointer:
+		if named, ok := u.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			return obj.Name() == "Buffer" && strings.HasSuffix(pkgPathOf(obj), "internal/buffer")
+		}
+	}
+	return false
+}
+
+// isCollectiveCall reports whether call enters the collective layer:
+// internal/coll, internal/core (HierKNEM itself), or internal/modules (the
+// baseline personalities).
+func isCollectiveCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	path := pkgPathOf(fn)
+	for _, suffix := range []string{"internal/coll", "internal/core", "internal/modules"} {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBufferEscape(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Buffers passed to collectives anywhere in this function.
+	collectiveArgs := map[types.Object]string{} // object -> callee name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isCollectiveCall(info, call) {
+			return true
+		}
+		callee := calleeObj(info, call).Name()
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil && isBufferish(obj.Type()) {
+					collectiveArgs[obj] = callee
+				}
+			}
+		}
+		return true
+	})
+	if len(collectiveArgs) == 0 {
+		return
+	}
+
+	// go-statement literals capturing one of those buffers, unsynchronized.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if literalSynchronizes(info, lit) {
+			return true
+		}
+		reported := map[types.Object]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || reported[obj] {
+				return true
+			}
+			callee, shared := collectiveArgs[obj]
+			// Captured means declared outside the literal.
+			declaredInside := lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End()
+			if shared && !declaredInside {
+				reported[obj] = true
+				pass.Reportf(gs.Pos(), "buffer %s is passed to collective %s and captured by this goroutine without synchronization (payload race)", obj.Name(), callee)
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// literalSynchronizes reports whether the literal body contains any visible
+// synchronization: channel send/receive, select, or a call into package
+// sync (Mutex, WaitGroup, Once, ...).
+func literalSynchronizes(info *types.Info, lit *ast.FuncLit) bool {
+	synced := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			synced = true
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				synced = true
+			}
+		case *ast.CallExpr:
+			if fn, ok := calleeObj(info, s).(*types.Func); ok {
+				if p := pkgPathOf(fn); p == "sync" || p == "sync/atomic" {
+					synced = true
+				}
+			}
+		}
+		return !synced
+	})
+	return synced
+}

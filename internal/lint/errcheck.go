@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckAnalyzer flags discarded error returns from the simulator's own
+// APIs (anything under this module: internal/mpi, internal/coll,
+// internal/knem, the hierknem facade, ...). The runtime signals misuse —
+// invalid bindings, failed KNEM cookie lookups, a deadlocked engine —
+// exclusively through error values; dropping one turns a loud setup bug
+// into a quietly wrong experiment.
+//
+// Only same-module callees are checked: stdlib error discipline is go vet's
+// and the reviewer's business, but our own runtime's errors are invariants.
+// A call used as a bare statement (including `go` and `defer` statements)
+// whose results include an error is flagged. Assigning to blank (err
+// position explicitly `_`) is treated as a deliberate, visible discard and
+// is not flagged.
+var ErrcheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "flag discarded error returns from module-internal APIs",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(pass *Pass) {
+	info := pass.Info()
+	module := modulePrefix(pass.Pkg.PkgPath)
+	check := func(call *ast.CallExpr, how string) {
+		fn, ok := calleeObj(info, call).(*types.Func)
+		if !ok {
+			return
+		}
+		path := pkgPathOf(fn)
+		if path == "" || modulePrefix(path) != module {
+			return
+		}
+		results := resultTypes(info, call)
+		if results == nil {
+			return
+		}
+		for i := 0; i < results.Len(); i++ {
+			if isErrorType(results.At(i).Type()) {
+				pass.Reportf(call.Pos(), "%s discards the error returned by %s.%s", how, shortPkg(path), fn.Name())
+				return
+			}
+		}
+	}
+
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "statement")
+				}
+			case *ast.GoStmt:
+				check(s.Call, "go statement")
+			case *ast.DeferStmt:
+				check(s.Call, "defer statement")
+			}
+			return true
+		})
+	}
+}
+
+// modulePrefix returns the leading path element — the module name for this
+// repo's packages ("hierknem"), the domain for external ones.
+func modulePrefix(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// shortPkg renders an import path as its last element for messages.
+func shortPkg(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

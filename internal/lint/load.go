@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked Go package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only, in go list order
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load lists, parses and type-checks the packages matching patterns,
+// resolving every import (stdlib and module-internal alike) through the
+// build cache's compiled export data. dir anchors the `go` invocations, so
+// patterns may be relative (./...) or explicit directories — including
+// testdata fixture directories, which the Go tool skips during pattern
+// expansion but accepts when named outright.
+//
+// Only the `go` tool itself is shelled out to; the analysis is pure
+// go/ast + go/types.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	exports, err := exportMap(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	metas, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	// One shared importer so every target sees the same *types.Package for
+	// a given dependency (object identity matters when comparing APIs).
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, m := range metas {
+		if m.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		var files []*ast.File
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   m.ImportPath,
+			Dir:       m.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return pkgs, nil
+}
+
+// exportMap builds (if needed) and locates the compiled export data of the
+// targets' full dependency closure: import path -> export file.
+func exportMap(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}, patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
+		if !ok {
+			continue
+		}
+		exports[path] = file
+	}
+	return exports, nil
+}
+
+// listPackages returns the metadata of the target packages themselves.
+func listPackages(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Error,DepsErrors"}, patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var metas []*listedPkg
+	for dec.More() {
+		var m listedPkg
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("go list -json: %w", err)
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}
+
+func runGo(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return stdout.String(), nil
+}

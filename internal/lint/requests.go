@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RequestHygieneAnalyzer guards the simulated MPI layer's liveness: every
+// request returned by Isend/Irecv must be able to reach a Wait. A request
+// that is discarded (or waited only on some control-flow paths) is exactly
+// the bug class that deadlocks a simulated collective or silently drops a
+// message — the timing curves keep coming out, just wrong.
+//
+// Three escalating checks on each Isend/Irecv call:
+//
+//  1. Result discarded outright (expression statement) — the request can
+//     never be waited.
+//
+//  2. Result assigned to blank (_) — same leak, spelled explicitly.
+//
+//  3. Result bound to a variable that is never mentioned again, or whose
+//     every subsequent use sits inside an else-less `if` body or a switch
+//     case while the variable appears in no condition — on the fall-through
+//     path the request leaks.
+//
+// The analysis is intentionally conservative: passing the request to any
+// call (WaitAll, append, a helper), returning it, or storing it anywhere
+// counts as consumption. Genuine fire-and-forget sends (eager-buffered
+// semantics) should collect the request with WaitAll at a barrier, or carry
+// a //lint:ignore requesthygiene directive explaining why the leak is safe.
+var RequestHygieneAnalyzer = &Analyzer{
+	Name: "requesthygiene",
+	Doc:  "flag Isend/Irecv requests that can never reach a Wait",
+	Run:  runRequestHygiene,
+}
+
+// isRequestCall reports whether call is p.Isend(...) or p.Irecv(...) from
+// the simulated MPI runtime.
+func isRequestCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Name() != "Isend" && fn.Name() != "Irecv" {
+		return false
+	}
+	return strings.HasSuffix(pkgPathOf(fn), "internal/mpi")
+}
+
+func runRequestHygiene(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		for _, fd := range funcBodies(f) {
+			checkRequests(pass, info, fd)
+		}
+	}
+}
+
+func checkRequests(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Pass 1: find request-creating calls and classify their context.
+	type tracked struct {
+		obj  types.Object // variable the request was bound to
+		call *ast.CallExpr
+		name string // Isend or Irecv
+	}
+	var vars []tracked
+
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isRequestCall(info, call) {
+			return true
+		}
+		name := calleeObj(info, call).Name()
+		if len(stack) == 0 {
+			return true
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "%s request discarded: no Wait can ever collect it (simulated request leak)", name)
+		case *ast.AssignStmt:
+			// Locate which LHS this call feeds. Isend/Irecv return one
+			// value, so in a multi-assign the positions correspond.
+			for i, rhs := range parent.Rhs {
+				if rhs != call {
+					continue
+				}
+				if i >= len(parent.Lhs) {
+					break
+				}
+				lhs, ok := parent.Lhs[i].(*ast.Ident)
+				if !ok {
+					break // field/index store: the request escapes, assume consumed
+				}
+				if lhs.Name == "_" {
+					pass.Reportf(call.Pos(), "%s request assigned to blank: no Wait can ever collect it", name)
+					break
+				}
+				if obj := info.ObjectOf(lhs); obj != nil {
+					vars = append(vars, tracked{obj: obj, call: call, name: name})
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: audit each tracked variable's uses across the whole body
+	// (nested closures included).
+	for _, t := range vars {
+		var uses []struct {
+			id    *ast.Ident
+			stack []ast.Node
+		}
+		inCond := false
+		inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || info.Uses[id] != t.obj {
+				return true
+			}
+			if isAssignLHS(id, stack) {
+				return true // reassignment target, not a consumption
+			}
+			if identInCondition(id, stack) {
+				inCond = true
+			}
+			uses = append(uses, struct {
+				id    *ast.Ident
+				stack []ast.Node
+			}{id, append([]ast.Node(nil), stack...)})
+			return true
+		})
+
+		if len(uses) == 0 {
+			pass.Reportf(t.call.Pos(), "%s request bound to %s but never used: no Wait can ever collect it", t.name, t.obj.Name())
+			continue
+		}
+		if inCond {
+			continue // polled (r.Done() loops) or nil-guarded; trust it
+		}
+		allConditional := true
+		for _, u := range uses {
+			if !conditionalUse(u.id, u.stack, t.call) {
+				allConditional = false
+				break
+			}
+		}
+		if allConditional {
+			pass.Reportf(t.call.Pos(), "%s request %s is waited only inside a conditional branch: on the fall-through path it leaks", t.name, t.obj.Name())
+		}
+	}
+}
+
+// identInCondition reports whether id appears in the condition expression of
+// an enclosing if/for/switch — evidence of polling or guarding, which pass 2
+// treats as deliberate.
+func identInCondition(id *ast.Ident, stack []ast.Node) bool {
+	for _, n := range stack {
+		var cond ast.Expr
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			cond = s.Cond
+		case *ast.ForStmt:
+			cond = s.Cond
+		case *ast.SwitchStmt:
+			cond = s.Tag
+		}
+		if cond != nil && cond.Pos() <= id.Pos() && id.End() <= cond.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// conditionalUse reports whether the use's nearest branching ancestor (above
+// the defining call's statement) is an else-less if body or a switch case —
+// i.e. there is a path around it.
+func conditionalUse(id *ast.Ident, stack []ast.Node, defCall *ast.CallExpr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.IfStmt:
+			// Only the body is conditional; and an if/else covers both arms.
+			if s.Else == nil && within(s.Body, id) && !within(s, defCall) {
+				return true
+			}
+		case *ast.CaseClause, *ast.CommClause:
+			if !within(s, defCall) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isAssignLHS reports whether id is an assignment target.
+func isAssignLHS(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lhs == ast.Expr(id) {
+			return true
+		}
+	}
+	return false
+}

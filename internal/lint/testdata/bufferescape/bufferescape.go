@@ -1,0 +1,47 @@
+// Package bufferescape is a hierlint golden fixture for the buffer-escape
+// analyzer: payload buffers shared between a collective call and an
+// unsynchronized goroutine, alongside synchronized and disjoint captures
+// that must not be flagged.
+package bufferescape
+
+import (
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/mpi"
+)
+
+// racyBuffer reads b concurrently with the broadcast that transports it.
+func racyBuffer(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	go func() { // want `buffer b is passed to collective BcastBinomial and captured by this goroutine without synchronization`
+		_ = b.Len()
+	}()
+	coll.BcastBinomial(p, c, b, 0)
+}
+
+// racySlice mutates the rank-order slice while the allgather walks it.
+func racySlice(p *mpi.Proc, c *mpi.Comm, sb, rb *buffer.Buffer, order []int) {
+	go func() { // want `buffer order is passed to collective AllgatherRing and captured by this goroutine without synchronization`
+		order[0] = 0
+	}()
+	coll.AllgatherRing(p, c, sb, rb, order, false)
+}
+
+// syncedCapture shares b too, but the literal hands off through a channel:
+// visible synchronization is trusted.
+func syncedCapture(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	done := make(chan struct{})
+	go func() {
+		_ = b.Len()
+		done <- struct{}{}
+	}()
+	coll.BcastBinomial(p, c, b, 0)
+	<-done
+}
+
+// disjoint captures a slice the collective never sees.
+func disjoint(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer, stats []int) {
+	go func() {
+		stats[0]++
+	}()
+	coll.BcastBinomial(p, c, b, 0)
+}

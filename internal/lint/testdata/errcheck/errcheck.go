@@ -1,0 +1,51 @@
+// Package errcheck is a hierlint golden fixture for the errcheck analyzer:
+// discarded error returns from module-internal APIs, alongside checked and
+// deliberately-blanked calls that must not be flagged.
+package errcheck
+
+import (
+	"fmt"
+
+	"hierknem/internal/des"
+	"hierknem/internal/topology"
+)
+
+// dropRun ignores the engine's deadlock/horizon report.
+func dropRun(eng *des.Engine) {
+	eng.Run() // want `statement discards the error returned by des\.Run`
+}
+
+// dropValidate ignores a spec validation failure.
+func dropValidate(spec *topology.Spec) {
+	spec.Validate() // want `statement discards the error returned by topology\.Validate`
+}
+
+// dropBuild ignores both results of a multi-return constructor.
+func dropBuild(spec topology.Spec) {
+	topology.Build(spec) // want `statement discards the error returned by topology\.Build`
+}
+
+// dropAsync loses errors behind go and defer statements.
+func dropAsync(eng *des.Engine) {
+	go eng.Run()    // want `go statement discards the error returned by des\.Run`
+	defer eng.Run() // want `defer statement discards the error returned by des\.Run`
+}
+
+// checked is the expected shape: the error is propagated.
+func checked(eng *des.Engine) error {
+	if err := eng.Run(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// blanked is a visible, deliberate discard and is left alone.
+func blanked(eng *des.Engine) {
+	_ = eng.Run()
+}
+
+// stdlibIsNotOurs: fmt.Println also returns an error, but stdlib discipline
+// is out of scope — only module APIs are invariants.
+func stdlibIsNotOurs() {
+	fmt.Println("timing table")
+}

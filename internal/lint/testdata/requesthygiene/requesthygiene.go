@@ -1,0 +1,79 @@
+// Package requesthygiene is a hierlint golden fixture for the
+// request-hygiene analyzer: leaked Isend/Irecv requests that no Wait can
+// ever collect, alongside clean request lifecycles that must not be
+// flagged.
+package requesthygiene
+
+import (
+	"hierknem/internal/buffer"
+	"hierknem/internal/mpi"
+)
+
+// discard drops the request on the floor as a bare statement.
+func discard(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	p.Isend(c, b, 0, 1) // want `Isend request discarded: no Wait can ever collect it`
+	p.Irecv(c, b, 0, 1) // want `Irecv request discarded: no Wait can ever collect it`
+}
+
+// blank spells the same leak with an explicit blank assignment.
+func blank(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	_ = p.Irecv(c, b, 0, 2) // want `Irecv request assigned to blank: no Wait can ever collect it`
+}
+
+// pending demonstrates a request parked in a variable nothing ever reads.
+var pending *mpi.Request
+
+func leakToGlobal(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	pending = p.Isend(c, b, 0, 3) // want `Isend request bound to pending but never used`
+}
+
+// conditionalWait leaks on the slow path: when fast is false the request is
+// never collected.
+func conditionalWait(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer, fast bool) {
+	r := p.Isend(c, b, 0, 4) // want `Isend request r is waited only inside a conditional branch`
+	if fast {
+		p.Wait(r)
+	}
+}
+
+// cleanPair is the canonical lifecycle: post both, wait both.
+func cleanPair(p *mpi.Proc, c *mpi.Comm, sb, rb *buffer.Buffer) {
+	r := p.Irecv(c, rb, 0, 5)
+	s := p.Isend(c, sb, 0, 5)
+	p.Wait(r)
+	p.Wait(s)
+}
+
+// cleanFanout accumulates requests through append and collects them with
+// WaitAll: passing the request to any call counts as consumption.
+func cleanFanout(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	var rs []*mpi.Request
+	for dst := 0; dst < 4; dst++ {
+		rs = append(rs, p.Isend(c, b, dst, 6))
+	}
+	p.WaitAll(rs...)
+}
+
+// cleanGuarded waits under a branch but also mentions the request in the
+// condition: polling and nil-guard patterns are trusted.
+func cleanGuarded(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	r := p.Irecv(c, b, mpi.AnySource, mpi.AnyTag)
+	if r != nil {
+		p.Wait(r)
+	}
+}
+
+// cleanBothArms waits on every path of an if/else.
+func cleanBothArms(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer, eager bool) {
+	r := p.Isend(c, b, 0, 7)
+	if eager {
+		p.Wait(r)
+	} else {
+		p.WaitAll(r)
+	}
+}
+
+// cleanReturned hands the request to the caller, who owns the Wait.
+func cleanReturned(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) *mpi.Request {
+	return p.Irecv(c, b, 0, 8)
+}

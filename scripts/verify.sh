@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# verify.sh — the repository's full verification gate, identical to CI.
+#
+#   build     every package compiles
+#   vet       the stock Go analyzers
+#   hierlint  the simulator-invariant analyzers (cmd/hierlint):
+#             determinism, requesthygiene, errcheck, bufferescape
+#   test      the full suite under the race detector
+#
+# Run from anywhere; it anchors itself at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> hierlint ./..."
+go run ./cmd/hierlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all gates passed"

@@ -1,0 +1,116 @@
+// Allocator benchmarks: the incremental connected-component recomputation
+// (fabric.ModeIncremental) against the reference full recomputation
+// (fabric.ModeGlobal) on the paper-scale workloads of Figure 3a, Figure 5
+// and Table II. Beyond wall-clock ns/op the benchmarks report the
+// allocator's own work counters:
+//
+//	res-visits/op   — resources touched by progressive filling + partitioning
+//	flow-visits/op  — flows touched by progressive filling
+//	events/sec      — simulator events dispatched per wall-clock second
+//
+// scripts/bench.sh runs these and distills results/BENCH_fabric.json; the
+// acceptance bar is >=2x fewer resource visits for incremental mode on the
+// Fig3a 768-rank broadcast sweep.
+package hierknem_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hierknem"
+	"hierknem/internal/fabric"
+	"hierknem/internal/imb"
+)
+
+var fabricModes = []fabric.Mode{fabric.ModeIncremental, fabric.ModeGlobal}
+
+// benchFabric runs one collective measurement per iteration in the given
+// allocator mode and reports the allocator work counters.
+func benchFabric(b *testing.B, spec hierknem.Spec, mode fabric.Mode,
+	run func(w *hierknem.World) imb.Result) {
+	np := spec.Nodes * spec.CoresPerNode()
+	var visits, flowVisits, events uint64
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		w, err := hierknem.NewWorld(spec, "bycore", np)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Machine.Fab.SetMode(mode)
+		run(w)
+		st := w.Machine.Fab.Stats()
+		visits += st.ResourceVisits
+		flowVisits += st.FlowVisits
+		events += w.Machine.Eng.Processed()
+	}
+	elapsed := time.Since(start).Seconds()
+	b.ReportMetric(float64(visits)/float64(b.N), "res-visits/op")
+	b.ReportMetric(float64(flowVisits)/float64(b.N), "flow-visits/op")
+	if elapsed > 0 {
+		b.ReportMetric(float64(events)/elapsed, "events/sec")
+	}
+}
+
+// BenchmarkFabricFig3aBcast768 is the acceptance workload: Figure 3a's
+// broadcast on the 32-node, 768-process Stremi configuration, swept over
+// message sizes, under both allocator modes.
+func BenchmarkFabricFig3aBcast768(b *testing.B) {
+	spec := hierknem.Stremi(32)
+	mod := hierknem.ForCluster(&spec)
+	for _, mode := range fabricModes {
+		for _, size := range []int64{64 << 10, 1 << 20} {
+			size := size
+			b.Run(fmt.Sprintf("mode=%s/size=%dKB", mode, size>>10), func(b *testing.B) {
+				benchFabric(b, spec, mode, func(w *hierknem.World) imb.Result {
+					return hierknem.BenchBcast(w, mod, size, imb.Opts{Iterations: 1, Warmup: 0})
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFabricFig5Allgather768 stresses the allocator's worst case: the
+// Figure 5 ring Allgather keeps every NIC active simultaneously, so
+// components are large and merges frequent.
+func BenchmarkFabricFig5Allgather768(b *testing.B) {
+	spec := hierknem.Parapluie(32)
+	mod := hierknem.ForCluster(&spec)
+	for _, mode := range fabricModes {
+		b.Run(fmt.Sprintf("mode=%s/size=128KB", mode), func(b *testing.B) {
+			benchFabric(b, spec, mode, func(w *hierknem.World) imb.Result {
+				return hierknem.BenchAllgather(w, mod, 128<<10, imb.Opts{Iterations: 1, Warmup: 0})
+			})
+		})
+	}
+}
+
+// BenchmarkFabricTable2ASP runs the Table II application skeleton (ASP):
+// iterated broadcasts interleaved with compute flows.
+func BenchmarkFabricTable2ASP(b *testing.B) {
+	spec := hierknem.Stremi(8)
+	mod := hierknem.ForCluster(&spec)
+	np := spec.Nodes * spec.CoresPerNode()
+	for _, mode := range fabricModes {
+		mode := mode
+		b.Run(fmt.Sprintf("mode=%s/n=256", mode), func(b *testing.B) {
+			var visits, events uint64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				w, err := hierknem.NewWorld(spec, "bycore", np)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Machine.Fab.SetMode(mode)
+				hierknem.RunASP(w, mod, 256, 0)
+				visits += w.Machine.Fab.Stats().ResourceVisits
+				events += w.Machine.Eng.Processed()
+			}
+			elapsed := time.Since(start).Seconds()
+			b.ReportMetric(float64(visits)/float64(b.N), "res-visits/op")
+			if elapsed > 0 {
+				b.ReportMetric(float64(events)/elapsed, "events/sec")
+			}
+		})
+	}
+}

@@ -81,8 +81,11 @@ func main() {
 	}
 }
 
-func runVerify(spec hierknem.Spec, np int, mod hierknem.Module, seed int64) {
-	const n = 64
+// randomGraph generates the -verify instance: a reproducible random weighted
+// digraph. A given (n, seed) pair always yields the same matrix, which is
+// what makes `asp -verify -seed N` replayable across machines and what the
+// replay test (replay_test.go) pins down.
+func randomGraph(n int, seed int64) [][]float64 {
 	rng := rand.New(rand.NewSource(seed))
 	d := make([][]float64, n)
 	for i := range d {
@@ -98,6 +101,12 @@ func runVerify(spec hierknem.Spec, np int, mod hierknem.Module, seed int64) {
 			}
 		}
 	}
+	return d
+}
+
+func runVerify(spec hierknem.Spec, np int, mod hierknem.Module, seed int64) {
+	const n = 64
+	d := randomGraph(n, seed)
 	ref := make([][]float64, n)
 	for i := range ref {
 		ref[i] = append([]float64(nil), d[i]...)

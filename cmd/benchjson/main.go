@@ -1,0 +1,224 @@
+// benchjson distills `go test -bench` output into results/BENCH_fabric.json.
+//
+// It reads the benchmark text on stdin, groups the BenchmarkFabric*
+// mode=incremental / mode=global pairs, computes the resource-visit and
+// wall-clock ratios between the two allocator modes, and optionally
+// enforces a minimum visit ratio (the ISSUE acceptance bar: incremental
+// must do >=2x fewer resource visits on the Fig3a broadcast sweep).
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkFabric -benchtime 1x -benchmem . |
+//	    go run ./cmd/benchjson -min-visit-ratio 2 -enforce Fig3a -o results/BENCH_fabric.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `go test -bench` result line. Metrics maps every
+// reported unit ("ns/op", "res-visits/op", "events/sec", "B/op", ...) to
+// its per-op value.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Comparison pairs one workload's incremental and global runs.
+type Comparison struct {
+	Benchmark            string  `json:"benchmark"`
+	ResVisitsIncremental float64 `json:"res_visits_incremental"`
+	ResVisitsGlobal      float64 `json:"res_visits_global"`
+	VisitRatio           float64 `json:"visit_ratio"` // global / incremental
+	NsIncremental        float64 `json:"ns_incremental"`
+	NsGlobal             float64 `json:"ns_global"`
+	Speedup              float64 `json:"speedup"` // global ns / incremental ns
+}
+
+// Report is the BENCH_fabric.json document.
+type Report struct {
+	Schema      string       `json:"schema"`
+	GoVersion   string       `json:"go_version"`
+	Goos        string       `json:"goos,omitempty"`
+	Goarch      string       `json:"goarch,omitempty"`
+	CPU         string       `json:"cpu,omitempty"`
+	Pkg         string       `json:"pkg,omitempty"`
+	Benchmarks  []Benchmark  `json:"benchmarks"`
+	Comparisons []Comparison `json:"comparisons"`
+	Criterion   *Criterion   `json:"criterion,omitempty"`
+}
+
+// Criterion records the enforced acceptance bar and its outcome.
+type Criterion struct {
+	MinVisitRatio float64 `json:"min_visit_ratio"`
+	AppliesTo     string  `json:"applies_to"`
+	Pass          bool    `json:"pass"`
+}
+
+const modeKey = "mode=incremental"
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	minRatio := flag.Float64("min-visit-ratio", 0, "fail unless every enforced pair's visit ratio meets this")
+	enforce := flag.String("enforce", "Fig3a", "regexp selecting the benchmarks the ratio bar applies to")
+	flag.Parse()
+
+	rep := &Report{Schema: "hierknem/bench-fabric/v1", GoVersion: runtime.Version()}
+	if err := parse(bufio.NewScanner(os.Stdin), rep); err != nil {
+		fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	compare(rep)
+
+	pass := true
+	if *minRatio > 0 {
+		re, err := regexp.Compile(*enforce)
+		if err != nil {
+			fatal(fmt.Errorf("bad -enforce pattern: %w", err))
+		}
+		enforced := 0
+		for _, c := range rep.Comparisons {
+			if !re.MatchString(c.Benchmark) {
+				continue
+			}
+			enforced++
+			if c.VisitRatio < *minRatio {
+				pass = false
+				fmt.Fprintf(os.Stderr, "benchjson: %s visit ratio %.2f < %.2f\n",
+					c.Benchmark, c.VisitRatio, *minRatio)
+			}
+		}
+		if enforced == 0 {
+			pass = false
+			fmt.Fprintf(os.Stderr, "benchjson: no comparison matches -enforce %q\n", *enforce)
+		}
+		rep.Criterion = &Criterion{MinVisitRatio: *minRatio, AppliesTo: *enforce, Pass: pass}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fatal(err)
+		}
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	if !pass {
+		fatal(fmt.Errorf("visit-ratio criterion failed"))
+	}
+}
+
+// parse consumes `go test -bench` text: context lines (goos/goarch/cpu/pkg)
+// and benchmark result lines.
+func parse(sc *bufio.Scanner, rep *Report) error {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return fmt.Errorf("line %q: %w", line, err)
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return sc.Err()
+}
+
+// parseBench splits "BenchmarkX/sub-8  3  123 ns/op  4 res-visits/op ...".
+func parseBench(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line")
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations: %w", err)
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric %q: %w", f[i+1], err)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, nil
+}
+
+// compare joins each mode=incremental benchmark with its mode=global twin.
+func compare(rep *Report) {
+	byName := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[trimProcSuffix(b.Name)] = b
+	}
+	var names []string
+	for name := range byName {
+		if strings.Contains(name, modeKey) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		inc := byName[name]
+		glob, ok := byName[strings.Replace(name, modeKey, "mode=global", 1)]
+		if !ok {
+			continue
+		}
+		c := Comparison{
+			Benchmark:            strings.Replace(name, modeKey+"/", "", 1),
+			ResVisitsIncremental: inc.Metrics["res-visits/op"],
+			ResVisitsGlobal:      glob.Metrics["res-visits/op"],
+			NsIncremental:        inc.Metrics["ns/op"],
+			NsGlobal:             glob.Metrics["ns/op"],
+		}
+		if c.ResVisitsIncremental > 0 {
+			c.VisitRatio = c.ResVisitsGlobal / c.ResVisitsIncremental
+		}
+		if c.NsIncremental > 0 {
+			c.Speedup = c.NsGlobal / c.NsIncremental
+		}
+		rep.Comparisons = append(rep.Comparisons, c)
+	}
+}
+
+// trimProcSuffix drops the trailing "-8" GOMAXPROCS marker.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -43,32 +43,8 @@ func main() {
 
 	cfg := config{nodes: *nodes, iters: *iters, aspN: *aspN, aspDim: *aspNodes}
 
-	experiments := map[string]func(config){
-		"fig1":       fig1,
-		"fig2":       fig2,
-		"fig3a":      func(c config) { fig3(c, "stremi") },
-		"fig3b":      func(c config) { fig3(c, "parapluie") },
-		"fig4a":      func(c config) { fig4(c, "stremi") },
-		"fig4b":      func(c config) { fig4(c, "parapluie") },
-		"fig5a":      func(c config) { fig5(c, "stremi") },
-		"fig5b":      func(c config) { fig5(c, "parapluie") },
-		"fig6a":      func(c config) { fig6(c, "bcast") },
-		"fig6b":      func(c config) { fig6(c, "allgather") },
-		"fig7a":      func(c config) { fig7(c, "stremi") },
-		"fig7b":      func(c config) { fig7(c, "parapluie") },
-		"table1":     table1,
-		"table2":     table2,
-		"ablation":   ablation,
-		"extensions": extensions,
-	}
-
 	if *exp == "all" {
-		ids := make([]string, 0, len(experiments))
-		for id := range experiments {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
+		for _, id := range experimentIDs() {
 			experiments[id](cfg)
 		}
 		return
@@ -79,6 +55,38 @@ func main() {
 		os.Exit(2)
 	}
 	fn(cfg)
+}
+
+// experiments maps every -exp id to its runner. The determinism golden test
+// (determinism_test.go) iterates this same table, so a new experiment is
+// automatically covered.
+var experiments = map[string]func(config){
+	"fig1":       fig1,
+	"fig2":       fig2,
+	"fig3a":      func(c config) { fig3(c, "stremi") },
+	"fig3b":      func(c config) { fig3(c, "parapluie") },
+	"fig4a":      func(c config) { fig4(c, "stremi") },
+	"fig4b":      func(c config) { fig4(c, "parapluie") },
+	"fig5a":      func(c config) { fig5(c, "stremi") },
+	"fig5b":      func(c config) { fig5(c, "parapluie") },
+	"fig6a":      func(c config) { fig6(c, "bcast") },
+	"fig6b":      func(c config) { fig6(c, "allgather") },
+	"fig7a":      func(c config) { fig7(c, "stremi") },
+	"fig7b":      func(c config) { fig7(c, "parapluie") },
+	"table1":     table1,
+	"table2":     table2,
+	"ablation":   ablation,
+	"extensions": extensions,
+}
+
+// experimentIDs returns the experiment ids in stable (sorted) order.
+func experimentIDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // clusterSpec resolves a cluster name to its spec.

@@ -1,0 +1,249 @@
+// Differential conformance: every collective of every module personality,
+// run on a small cluster with real payloads, must deliver byte-identical
+// results to the naive sequential references in internal/coll/reference.go.
+// The personalities differ in timing, segmentation and topology use —
+// never in the bytes they deliver.
+package hierknem_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hierknem"
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/mpi"
+)
+
+const (
+	confPPN = 4 // ranks per node: leaders and non-leaders on every node
+	confNP  = 3 * confPPN
+)
+
+// confWorld builds the conformance cluster: 3 Stremi nodes, 4 ranks each,
+// so every collective crosses both shared memory and the network.
+func confWorld(t *testing.T) *hierknem.World {
+	t.Helper()
+	spec := hierknem.Stremi(3)
+	w, err := hierknem.NewWorldPPN(spec, confPPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func confModules() []hierknem.Module {
+	spec := hierknem.Stremi(3)
+	return hierknem.Lineup(&spec)
+}
+
+// confPattern is deterministic per-rank payload; distinct from any module's
+// internal scratch contents.
+func confPattern(rank, n int) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte((rank*151 + i*11 + 5) % 249)
+	}
+	return d
+}
+
+// confInts is the integer payload for reductions: Int64 with OpSum/OpMax is
+// associative and commutative, so the reference's fold order is canonical
+// (float64 sums would differ across reduction trees).
+func confInts(rank, elems int) []int64 {
+	v := make([]int64, elems)
+	for i := range v {
+		v[i] = int64(rank*1_000_003 + i*7 - 500)
+	}
+	return v
+}
+
+func TestConformanceBcast(t *testing.T) {
+	for _, mod := range confModules() {
+		for _, size := range []int{2000, 96 << 10} { // eager and rendezvous
+			for _, root := range []int{0, confNP - 1} {
+				mod := mod
+				t.Run(fmt.Sprintf("%s/%dB/root%d", mod.Name(), size, root), func(t *testing.T) {
+					inputs := make([][]byte, confNP)
+					for r := range inputs {
+						inputs[r] = confPattern(r, size)
+					}
+					want := coll.RefBcast(inputs, root)
+					w := confWorld(t)
+					var bad []int
+					err := w.Run(func(p *mpi.Proc) {
+						c := w.WorldComm()
+						me := c.Rank(p)
+						var buf *buffer.Buffer
+						if me == root {
+							buf = buffer.NewReal(append([]byte(nil), inputs[root]...))
+						} else {
+							buf = buffer.NewReal(make([]byte, size))
+						}
+						mod.Bcast(p, c, buf, root)
+						if !bytes.Equal(buf.Data(), want[me]) {
+							bad = append(bad, me)
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(bad) != 0 {
+						t.Fatalf("ranks %v diverge from the sequential reference", bad)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestConformanceReduce(t *testing.T) {
+	for _, mod := range confModules() {
+		for _, op := range []buffer.Op{buffer.OpSum, buffer.OpMax} {
+			for _, elems := range []int{256, 8192} {
+				for _, root := range []int{0, confNP / 2} {
+					mod, op := mod, op
+					t.Run(fmt.Sprintf("%s/%v/%delems/root%d", mod.Name(), op, elems, root), func(t *testing.T) {
+						args := hierknem.ReduceArgs{Op: op, Dtype: buffer.Int64}
+						inputs := make([][]byte, confNP)
+						for r := range inputs {
+							inputs[r] = append([]byte(nil), buffer.Int64s(confInts(r, elems)).Data()...)
+						}
+						want := coll.RefReduce(args, inputs)
+						w := confWorld(t)
+						var got []byte
+						err := w.Run(func(p *mpi.Proc) {
+							c := w.WorldComm()
+							me := c.Rank(p)
+							sbuf := buffer.NewReal(append([]byte(nil), inputs[me]...))
+							var rbuf *buffer.Buffer
+							if me == root {
+								rbuf = buffer.NewReal(make([]byte, len(inputs[me])))
+							}
+							mod.Reduce(p, c, args, sbuf, rbuf, root)
+							if me == root {
+								got = append([]byte(nil), rbuf.Data()...)
+							}
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(got, want) {
+							t.Fatal("root's reduction diverges from the sequential reference")
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func TestConformanceAllgather(t *testing.T) {
+	for _, mod := range confModules() {
+		for _, block := range []int{1500, 48 << 10} {
+			mod := mod
+			t.Run(fmt.Sprintf("%s/%dB", mod.Name(), block), func(t *testing.T) {
+				inputs := make([][]byte, confNP)
+				for r := range inputs {
+					inputs[r] = confPattern(r, block)
+				}
+				want := coll.RefAllgather(inputs)
+				w := confWorld(t)
+				var bad []int
+				err := w.Run(func(p *mpi.Proc) {
+					c := w.WorldComm()
+					me := c.Rank(p)
+					sbuf := buffer.NewReal(append([]byte(nil), inputs[me]...))
+					rbuf := buffer.NewReal(make([]byte, block*confNP))
+					mod.Allgather(p, c, sbuf, rbuf)
+					if !bytes.Equal(rbuf.Data(), want) {
+						bad = append(bad, me)
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(bad) != 0 {
+					t.Fatalf("ranks %v diverge from the sequential reference", bad)
+				}
+			})
+		}
+	}
+}
+
+func TestConformanceScatter(t *testing.T) {
+	for _, mod := range confModules() {
+		for _, block := range []int{900, 24 << 10} {
+			for _, root := range []int{0, 3} {
+				mod := mod
+				t.Run(fmt.Sprintf("%s/%dB/root%d", mod.Name(), block, root), func(t *testing.T) {
+					rootData := make([]byte, 0, block*confNP)
+					for r := 0; r < confNP; r++ {
+						rootData = append(rootData, confPattern(r, block)...)
+					}
+					want := coll.RefScatter(rootData, confNP)
+					w := confWorld(t)
+					var bad []int
+					err := w.Run(func(p *mpi.Proc) {
+						c := w.WorldComm()
+						me := c.Rank(p)
+						var sbuf *buffer.Buffer
+						if me == root {
+							sbuf = buffer.NewReal(append([]byte(nil), rootData...))
+						}
+						rbuf := buffer.NewReal(make([]byte, block))
+						mod.Scatter(p, c, sbuf, rbuf, root)
+						if !bytes.Equal(rbuf.Data(), want[me]) {
+							bad = append(bad, me)
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(bad) != 0 {
+						t.Fatalf("ranks %v diverge from the sequential reference", bad)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestConformanceGather(t *testing.T) {
+	for _, mod := range confModules() {
+		for _, block := range []int{900, 24 << 10} {
+			for _, root := range []int{0, confNP - 1} {
+				mod := mod
+				t.Run(fmt.Sprintf("%s/%dB/root%d", mod.Name(), block, root), func(t *testing.T) {
+					inputs := make([][]byte, confNP)
+					for r := range inputs {
+						inputs[r] = confPattern(r, block)
+					}
+					want := coll.RefGather(inputs)
+					w := confWorld(t)
+					var got []byte
+					err := w.Run(func(p *mpi.Proc) {
+						c := w.WorldComm()
+						me := c.Rank(p)
+						sbuf := buffer.NewReal(append([]byte(nil), inputs[me]...))
+						var rbuf *buffer.Buffer
+						if me == root {
+							rbuf = buffer.NewReal(make([]byte, block*confNP))
+						}
+						mod.Gather(p, c, sbuf, rbuf, root)
+						if me == root {
+							got = append([]byte(nil), rbuf.Data()...)
+						}
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatal("root's gather diverges from the sequential reference")
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package coll
+
+import "hierknem/internal/buffer"
+
+// This file is the executable specification of the collectives: naive
+// sequential references computed outside the simulator, against which every
+// module personality is differentially tested (conformance_test.go at the
+// repository root). Each function takes rank-indexed byte slices and
+// returns what MPI semantics demand, with no algorithmic cleverness to
+// share bugs with the implementations under test.
+
+// RefBcast returns every rank's expected buffer after Bcast: a copy of the
+// root's payload.
+func RefBcast(inputs [][]byte, root int) [][]byte {
+	out := make([][]byte, len(inputs))
+	for r := range out {
+		out[r] = append([]byte(nil), inputs[root]...)
+	}
+	return out
+}
+
+// RefReduce folds the rank buffers in ascending rank order with the given
+// operator and returns the root's expected receive buffer. With
+// non-commutative rounding (float sums) the fold order matters; the
+// conformance tests therefore reduce integers, where every order agrees.
+func RefReduce(a ReduceArgs, inputs [][]byte) []byte {
+	acc := buffer.NewReal(append([]byte(nil), inputs[0]...))
+	for _, in := range inputs[1:] {
+		buffer.Reduce(a.Op, a.Dtype, acc, buffer.NewReal(append([]byte(nil), in...)))
+	}
+	return acc.Data()
+}
+
+// RefAllgather returns the buffer every rank must hold after Allgather: the
+// rank blocks concatenated in rank order.
+func RefAllgather(inputs [][]byte) []byte {
+	var out []byte
+	for _, in := range inputs {
+		out = append(out, in...)
+	}
+	return out
+}
+
+// RefScatter splits the root's send buffer into len(inputs) equal blocks,
+// block r being rank r's expected receive buffer.
+func RefScatter(rootData []byte, np int) [][]byte {
+	block := len(rootData) / np
+	out := make([][]byte, np)
+	for r := 0; r < np; r++ {
+		out[r] = append([]byte(nil), rootData[r*block:(r+1)*block]...)
+	}
+	return out
+}
+
+// RefGather returns the root's expected receive buffer after Gather: the
+// rank blocks concatenated in rank order (identical to RefAllgather, spelled
+// separately so each collective has its own specification).
+func RefGather(inputs [][]byte) []byte {
+	return RefAllgather(inputs)
+}

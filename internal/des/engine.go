@@ -25,10 +25,11 @@ import (
 // Engine is a discrete-event simulation engine. The zero value is not usable;
 // create one with New.
 type Engine struct {
-	now    float64
-	seq    uint64
-	queue  eventHeap
-	parked chan struct{} // handshake: a process signals it yielded control
+	now       float64
+	seq       uint64
+	processed uint64
+	queue     eventHeap
+	parked    chan struct{} // handshake: a process signals it yielded control
 
 	procs   []*Proc
 	alive   int
@@ -51,11 +52,18 @@ func (e *Engine) Now() float64 { return e.now }
 // Timer is a handle to a scheduled event that can be cancelled.
 type Timer struct{ ev *event }
 
-// Cancel prevents the timer's callback from firing. Cancelling an already
-// fired or cancelled timer is a no-op.
+// Cancel prevents the timer's callback from firing and removes the event
+// from the engine's queue immediately, so heavily rescheduled timers (the
+// fabric re-arms one completion timer per flow component) do not accumulate
+// dead entries in the heap. Cancelling an already fired or cancelled timer
+// is a no-op.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.fn = nil
+	if t == nil || t.ev == nil || t.ev.fn == nil {
+		return
+	}
+	t.ev.fn = nil
+	if t.ev.idx >= 0 {
+		heap.Remove(&t.ev.eng.queue, t.ev.idx)
 	}
 }
 
@@ -66,6 +74,8 @@ type event struct {
 	at  float64
 	seq uint64
 	fn  func()
+	eng *Engine
+	idx int // position in the engine's heap; -1 once popped or removed
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
@@ -77,7 +87,7 @@ func (e *Engine) At(t float64, fn func()) *Timer {
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("des: scheduling event at non-finite time %g", t))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := &event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return &Timer{ev: ev}
@@ -247,6 +257,7 @@ func (e *Engine) Run() error {
 		}
 		fn := ev.fn
 		ev.fn = nil
+		e.processed++
 		fn()
 	}
 	if e.alive > 0 {
@@ -262,9 +273,13 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled-but-unpopped ones).
+// Pending returns the number of events currently scheduled. Cancelled
+// timers are removed from the queue eagerly and do not count.
 func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Processed returns the number of events dispatched so far — the raw event
+// throughput measure the fabric benchmarks report as events/sec.
+func (e *Engine) Processed() uint64 { return e.processed }
 
 // eventHeap orders events by (time, sequence).
 type eventHeap []*event
@@ -276,15 +291,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
 func (h *eventHeap) Push(x any) {
-	*h = append(*h, x.(*event))
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
 }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.idx = -1
 	*h = old[:n-1]
 	return ev
 }

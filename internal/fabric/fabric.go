@@ -15,15 +15,48 @@
 // copies, and the overlap (or lack of it) between intra-node copies and
 // inter-node transfers.
 //
+// # Incremental recomputation
+//
+// Max-min rates only couple flows that share a resource (directly or
+// transitively), so the active flows and resources partition into connected
+// components, and the unique max-min allocation of the whole fabric is the
+// union of the per-component allocations. The Net maintains that partition
+// incrementally: starting a flow merges the components its path touches,
+// finishing or aborting one marks its component for a local re-partition,
+// and each event re-runs progressive filling only over the affected
+// component(s). Untouched components keep their rates and their already
+// armed completion timers.
+//
+// Three invariants make the incremental mode *bit-identical* (in virtual
+// time) to recomputing everything on every event, not merely close:
+//
+//  1. Progressive filling is a pure function of a component's membership
+//     (flow paths and rate caps), insensitive to iteration order, so a
+//     refill of an untouched component reproduces its rates exactly.
+//  2. A flow's progress is closed-form — done(t) = done0 + rate·(t−since)
+//     — and (done0, since) advance only when the flow's rate changes, so
+//     how often a component is visited cannot perturb its arithmetic.
+//  3. Completion deadlines are absolute times computed once per rate
+//     change, and a component's timer is left untouched when its earliest
+//     deadline is unchanged.
+//
+// ModeGlobal re-derives the partition and refills every component on every
+// event; by the invariants above it produces the same event sequence as
+// ModeIncremental and serves as the reference for the equivalence tests.
+// The shadow checker (see shadow.go) additionally cross-checks every sync
+// against a from-scratch partition and against the seed's one-pass global
+// filling algorithm.
+//
 // The implementation is allocation-light: flows and resources live in flat
-// slices and the progressive-filling pass reuses scratch state on the
-// resources themselves, because benchmark workloads recompute allocations
-// tens of thousands of times.
+// per-component slices and the progressive-filling pass reuses scratch state
+// on the resources themselves, because benchmark workloads recompute
+// allocations tens of thousands of times.
 package fabric
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"hierknem/internal/des"
 )
@@ -34,17 +67,24 @@ type Resource struct {
 	Name     string
 	Capacity float64 // bytes per second
 
-	load float64 // current aggregate consumption, bytes/s
+	load  float64 // current aggregate consumption, bytes/s
+	since float64 // virtual time load was last integrated
 
 	// BytesServed integrates load over time: total bytes that crossed
-	// this resource. BusyTime integrates the saturation fraction.
+	// this resource. BusyTime integrates the saturation fraction. Both
+	// are integrated lazily — up to date whenever the resource is idle
+	// (and therefore at end of run); mid-run readers see values as of
+	// the owning component's last recompute.
 	BytesServed float64
 	BusyTime    float64
 
+	comp *component // owning component; nil while idle
+	ridx int        // position in comp.res
+
 	// recompute scratch
-	resid   float64
-	wsum    float64
-	touched bool
+	resid float64
+	wsum  float64
+	uf    int32 // union-find scratch for component splitting
 }
 
 // Load returns the resource's current aggregate consumption in bytes/s.
@@ -59,6 +99,15 @@ func (r *Resource) Utilization(elapsed float64) float64 {
 	return r.BytesServed / (r.Capacity * elapsed)
 }
 
+// integrate accrues BytesServed/BusyTime at the current load up to now.
+func (r *Resource) integrate(now float64) {
+	if dt := now - r.since; dt > 0 {
+		r.BytesServed += r.load * dt
+		r.BusyTime += (r.load / r.Capacity) * dt
+	}
+	r.since = now
+}
+
 // Flow is an in-flight transfer.
 type Flow struct {
 	ID      uint64
@@ -66,16 +115,28 @@ type Flow struct {
 	RateCap float64 // bytes/s; 0 means unlimited
 	Path    []*Resource
 	// Class labels the traffic kind ("net", "copy", "compute", ...) for
-	// the overlap accounting; empty means unclassified.
+	// the overlap accounting; empty means unclassified. It is fixed at
+	// Start time (use StartClassed): the Net keeps per-class counts.
 	Class string
 
 	OnComplete func()
 
-	owner     *Net
-	idx       int // position in owner.flows; -1 when detached
-	done      float64
-	rate      float64
-	frozen    bool // recompute scratch
+	owner *Net
+	comp  *component // owning component; nil when detached
+	cidx  int        // position in comp.flows
+
+	// Progress is closed-form: done(t) = done0 + rate·(t−since). The
+	// pair (done0, since) is re-anchored only when rate changes, and
+	// deadline (the absolute completion time) is computed at the same
+	// moment — so progress arithmetic is independent of how often the
+	// owning component is recomputed.
+	done0    float64
+	since    float64
+	rate     float64
+	deadline float64
+
+	prevRate  float64 // fill scratch: rate before the current refill
+	frozen    bool    // fill scratch
 	completed bool
 	aborted   bool
 }
@@ -83,32 +144,70 @@ type Flow struct {
 // Rate returns the flow's current allocated rate in bytes/s.
 func (f *Flow) Rate() float64 { return f.rate }
 
-// Done returns the bytes transferred so far (as of the last fabric update).
-func (f *Flow) Done() float64 { return f.done }
+// Done returns the bytes transferred so far.
+func (f *Flow) Done() float64 {
+	if f.owner == nil || f.comp == nil {
+		return f.done0
+	}
+	return f.doneAt(f.owner.eng.Now())
+}
+
+func (f *Flow) doneAt(now float64) float64 {
+	d := f.done0 + f.rate*(now-f.since)
+	if d > f.Size {
+		d = f.Size
+	}
+	return d
+}
 
 // Completed reports whether the flow finished normally.
 func (f *Flow) Completed() bool { return f.completed }
 
+// Mode selects how the Net recomputes allocations after each event.
+type Mode int
+
+const (
+	// ModeIncremental (the default) recomputes only the connected
+	// component(s) touched by the event.
+	ModeIncremental Mode = iota
+	// ModeGlobal re-partitions and refills every component on every
+	// event — the reference the equivalence tests compare against.
+	ModeGlobal
+)
+
+func (m Mode) String() string {
+	if m == ModeGlobal {
+		return "global"
+	}
+	return "incremental"
+}
+
 // Net owns a set of resources and active flows on one des.Engine.
 type Net struct {
 	eng        *des.Engine
-	flows      []*Flow
+	comps      []*component // active components, unordered (swap-delete)
+	dirty      []*component // components awaiting recompute at the next sync
 	resources  []*Resource
-	active     []*Resource // resources carrying load since last recompute
-	lastUpdate float64
+	nFlows     int
 	nextID     uint64
+	nextCompID uint64
 
-	timer         *des.Timer
+	mode          Mode
 	syncScheduled bool
+	stats         RecomputeStats
+	shadow        func(format string, args ...any)
 
 	// Overlap accounting: virtual time during which at least one flow of
 	// a class was active, and during which two classes were concurrently
 	// active (key "a|b" with a < b). This is how experiments quantify the
 	// paper's central claim — intra-node copies overlapping inter-node
-	// transfers.
+	// transfers. Maintained from per-class active counts, integrated
+	// whenever a count changes.
 	classBusy   map[string]float64
 	overlapBusy map[string]float64
-	classScr    []string // scratch (reused across advances)
+	classCount  map[string]int
+	lastClass   float64  // virtual time of the last class integration
+	classScr    []string // scratch (reused across integrations)
 }
 
 // NewNet creates an empty fabric bound to eng.
@@ -117,16 +216,53 @@ func NewNet(eng *des.Engine) *Net {
 		eng:         eng,
 		classBusy:   make(map[string]float64),
 		overlapBusy: make(map[string]float64),
+		classCount:  make(map[string]int),
 	}
+}
+
+// SetMode selects the recompute mode; the next sync applies it.
+func (n *Net) SetMode(m Mode) { n.mode = m }
+
+// Mode returns the current recompute mode.
+func (n *Net) Mode() Mode { return n.mode }
+
+// Stats returns the recompute counters accumulated so far.
+func (n *Net) Stats() RecomputeStats {
+	s := n.stats
+	s.Components = len(n.comps)
+	return s
+}
+
+// Components returns the number of currently active flow components.
+func (n *Net) Components() int { return len(n.comps) }
+
+// EnableShadow turns on the always-on-in-tests cross-check: after every
+// sync the Net re-derives the component partition and all rates from
+// scratch and compares them against the incrementally maintained state
+// (exactly), and against the seed's one-pass global filling (within a tight
+// relative tolerance — its fp delta sequence differs). onMismatch receives
+// a description of any divergence; nil means panic, which is what the tests
+// want.
+func (n *Net) EnableShadow(onMismatch func(format string, args ...any)) {
+	if onMismatch == nil {
+		onMismatch = func(format string, args ...any) {
+			panic("fabric shadow: " + fmt.Sprintf(format, args...))
+		}
+	}
+	n.shadow = onMismatch
 }
 
 // ClassBusyTime returns the virtual time during which at least one flow of
 // the class was active.
-func (n *Net) ClassBusyTime(class string) float64 { return n.classBusy[class] }
+func (n *Net) ClassBusyTime(class string) float64 {
+	n.advanceClasses()
+	return n.classBusy[class]
+}
 
 // OverlapTime returns the virtual time during which flows of both classes
 // were concurrently active.
 func (n *Net) OverlapTime(a, b string) float64 {
+	n.advanceClasses()
 	if a > b {
 		a, b = b, a
 	}
@@ -156,6 +292,15 @@ const byteEps = 1e-6 // bytes: a flow within this of its size is complete
 // non-empty path or a positive rate cap; otherwise its rate would be
 // unbounded. Zero-size flows complete at the current time.
 func (n *Net) Start(size float64, rateCap float64, path []*Resource, onComplete func()) *Flow {
+	return n.start("", size, rateCap, path, onComplete)
+}
+
+// StartClassed is Start with a traffic-class label for overlap accounting.
+func (n *Net) StartClassed(class string, size, rateCap float64, path []*Resource, onComplete func()) *Flow {
+	return n.start(class, size, rateCap, path, onComplete)
+}
+
+func (n *Net) start(class string, size, rateCap float64, path []*Resource, onComplete func()) *Flow {
 	if size < 0 || math.IsNaN(size) {
 		panic(fmt.Sprintf("fabric: invalid flow size %g", size))
 	}
@@ -167,29 +312,22 @@ func (n *Net) Start(size float64, rateCap float64, path []*Resource, onComplete 
 		Size:       size,
 		RateCap:    rateCap,
 		Path:       path,
+		Class:      class,
 		OnComplete: onComplete,
 		owner:      n,
-		idx:        -1,
+		cidx:       -1,
 	}
 	n.nextID++
 	if size <= byteEps {
+		f.done0 = size
 		f.completed = true
 		if onComplete != nil {
 			n.eng.At(n.eng.Now(), onComplete)
 		}
 		return f
 	}
-	n.advance()
-	f.idx = len(n.flows)
-	n.flows = append(n.flows, f)
+	n.attach(f)
 	n.requestSync()
-	return f
-}
-
-// StartClassed is Start with a traffic-class label for overlap accounting.
-func (n *Net) StartClassed(class string, size, rateCap float64, path []*Resource, onComplete func()) *Flow {
-	f := n.Start(size, rateCap, path, onComplete)
-	f.Class = class
 	return f
 }
 
@@ -210,74 +348,48 @@ func (n *Net) StartAfterClassed(class string, delay, size, rateCap float64, path
 
 // Abort removes an in-flight flow without firing OnComplete.
 func (f *Flow) Abort() {
-	if f.completed || f.aborted || f.idx < 0 {
+	if f.completed || f.aborted || f.comp == nil {
 		return
 	}
 	f.aborted = true
 	n := f.owner
-	n.advance()
-	n.remove(f)
+	now := n.eng.Now()
+	f.done0 = f.doneAt(now)
+	f.since = now
+	n.detach(f)
 	n.requestSync()
 }
 
-// remove detaches flow f from the active set (swap-delete).
-func (n *Net) remove(f *Flow) {
-	last := len(n.flows) - 1
-	other := n.flows[last]
-	n.flows[f.idx] = other
-	other.idx = f.idx
-	n.flows[last] = nil
-	n.flows = n.flows[:last]
-	f.idx = -1
-	f.rate = 0
-}
+// ActiveFlows returns the number of in-flight flows.
+func (n *Net) ActiveFlows() int { return n.nFlows }
 
-// advance accrues progress for all flows at current rates up to engine-now.
-func (n *Net) advance() {
+// advanceClasses integrates class-activity time up to engine-now at the
+// current per-class counts. Called before any count changes.
+func (n *Net) advanceClasses() {
 	now := n.eng.Now()
-	dt := now - n.lastUpdate
+	dt := now - n.lastClass
 	if dt <= 0 {
-		n.lastUpdate = now
+		n.lastClass = now
 		return
 	}
 	n.classScr = n.classScr[:0]
-	for _, f := range n.flows {
-		f.done += f.rate * dt
-		if f.done > f.Size {
-			f.done = f.Size
-		}
-		if f.Class != "" && !containsStr(n.classScr, f.Class) {
-			n.classScr = append(n.classScr, f.Class)
+	for class, cnt := range n.classCount {
+		if cnt > 0 {
+			n.classScr = append(n.classScr, class)
 		}
 	}
+	sort.Strings(n.classScr)
 	for i, a := range n.classScr {
 		n.classBusy[a] += dt
 		for _, b := range n.classScr[i+1:] {
-			lo, hi := a, b
-			if lo > hi {
-				lo, hi = hi, lo
-			}
-			n.overlapBusy[lo+"|"+hi] += dt
+			n.overlapBusy[a+"|"+b] += dt
 		}
 	}
-	for _, r := range n.active {
-		r.BytesServed += r.load * dt
-		r.BusyTime += (r.load / r.Capacity) * dt
-	}
-	n.lastUpdate = now
-}
-
-func containsStr(s []string, v string) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
+	n.lastClass = now
 }
 
 // requestSync coalesces recomputation: all adds/removes within one virtual
-// instant trigger a single progressive-filling pass.
+// instant trigger a single recompute pass over the dirty components.
 func (n *Net) requestSync() {
 	if n.syncScheduled {
 		return
@@ -285,178 +397,104 @@ func (n *Net) requestSync() {
 	n.syncScheduled = true
 	n.eng.At(n.eng.Now(), func() {
 		n.syncScheduled = false
-		n.recompute()
-		n.scheduleCompletion()
+		n.sync()
 	})
 }
 
-// recompute assigns max-min fair rates to all active flows by progressive
-// filling: raise every unfrozen flow's rate uniformly until a flow hits its
-// cap or a resource saturates; freeze those and repeat.
-func (n *Net) recompute() {
-	// Clear loads of previously active resources.
-	for _, r := range n.active {
-		r.load = 0
-	}
-	n.active = n.active[:0]
-	if len(n.flows) == 0 {
-		return
-	}
-
-	for _, f := range n.flows {
-		f.frozen = false
-		for _, r := range f.Path {
-			if !r.touched {
-				r.touched = true
-				r.resid = r.Capacity
-				r.wsum = 0
-				n.active = append(n.active, r)
-			}
-			r.wsum++
+// sync recomputes every dirty component (all of them in ModeGlobal), then
+// runs the shadow cross-check when enabled.
+func (n *Net) sync() {
+	n.stats.Syncs++
+	if n.mode == ModeGlobal {
+		for _, c := range n.comps {
+			c.splitFlag = true
+			n.markDirty(c)
 		}
 	}
-
-	unfrozen := len(n.flows)
-	level := 0.0
-	const relEps = 1e-9
-	for unfrozen > 0 {
-		delta := math.Inf(1)
-		for _, r := range n.active {
-			if r.wsum > relEps {
-				if d := r.resid / r.wsum; d < delta {
-					delta = d
-				}
-			}
-		}
-		for _, f := range n.flows {
-			if !f.frozen && f.RateCap > 0 {
-				if d := f.RateCap - level; d < delta {
-					delta = d
-				}
-			}
-		}
-		if math.IsInf(delta, 1) {
-			// Flows with no constraining resource and no cap; unreachable
-			// given Start's validation, but guard anyway.
-			for _, f := range n.flows {
-				if !f.frozen {
-					f.frozen = true
-					f.rate = level
-				}
-			}
-			break
-		}
-		if delta < 0 {
-			delta = 0
-		}
-		level += delta
-		for _, r := range n.active {
-			r.resid -= delta * r.wsum
-		}
-
-		frozeAny := false
-		for _, f := range n.flows {
-			if f.frozen {
-				continue
-			}
-			capped := f.RateCap > 0 && level >= f.RateCap*(1-relEps)
-			saturated := false
-			if !capped {
-				for _, r := range f.Path {
-					if r.resid <= r.Capacity*relEps {
-						saturated = true
-						break
-					}
-				}
-			}
-			if capped || saturated {
-				f.frozen = true
-				f.rate = level
-				unfrozen--
-				for _, r := range f.Path {
-					r.wsum--
-				}
-				frozeAny = true
-			}
-		}
-		if !frozeAny {
-			// Numerical stalemate: freeze everything at the current level.
-			for _, f := range n.flows {
-				if !f.frozen {
-					f.frozen = true
-					f.rate = level
-					unfrozen--
-				}
-			}
-		}
-	}
-
-	for _, r := range n.active {
-		r.touched = false
-		r.load = 0
-	}
-	for _, f := range n.flows {
-		for _, r := range f.Path {
-			r.load += f.rate
-		}
-	}
-}
-
-// scheduleCompletion (re)arms the single completion timer for the earliest
-// finishing flow.
-func (n *Net) scheduleCompletion() {
-	if n.timer != nil {
-		n.timer.Cancel()
-		n.timer = nil
-	}
-	next := math.Inf(1)
-	for _, f := range n.flows {
-		if f.rate <= 0 {
+	for i := 0; i < len(n.dirty); i++ {
+		c := n.dirty[i]
+		if c.dead || !c.dirtyFlag {
 			continue
 		}
-		t := (f.Size - f.done) / f.rate
-		if t < next {
-			next = t
-		}
+		n.recomputeComponent(c)
 	}
-	if math.IsInf(next, 1) {
-		if len(n.flows) > 0 {
-			panic("fabric: active flows but no positive rates; simulation would stall")
-		}
-		return
+	for i := range n.dirty {
+		n.dirty[i] = nil
 	}
-	if next < 0 {
-		next = 0
+	n.dirty = n.dirty[:0]
+	if n.shadow != nil {
+		n.runShadow()
 	}
-	n.timer = n.eng.After(next, n.onCompletionTimer)
 }
 
-func (n *Net) onCompletionTimer() {
-	n.timer = nil
-	n.advance()
+// onCompletionTimer handles the completion timer of one component: flows
+// whose deadline has arrived complete now.
+func (n *Net) onCompletionTimer(c *component) {
+	c.timer = nil
+	now := n.eng.Now()
 	var finished []*Flow
-	for _, f := range n.flows {
-		if f.Size-f.done <= byteEps {
+	for _, f := range c.flows {
+		if f.deadline <= now {
 			finished = append(finished, f)
 		}
+	}
+	if len(finished) == 0 {
+		// Defensive: the timer fires at the minimum deadline, so some
+		// flow must qualify; re-arm rather than stall if not.
+		n.scheduleCompletion(c)
+		return
 	}
 	// Deterministic callback order.
 	sortFlows(finished)
 	for _, f := range finished {
-		n.remove(f)
+		f.done0 = f.Size
+		f.since = now
+		n.detach(f)
 		f.completed = true
 	}
+	n.stats.Completions += uint64(len(finished))
 	for _, f := range finished {
 		if f.OnComplete != nil {
 			f.OnComplete()
 		}
 	}
-	n.recompute()
-	n.scheduleCompletion()
+	n.requestSync()
 }
 
-// ActiveFlows returns the number of in-flight flows.
-func (n *Net) ActiveFlows() int { return len(n.flows) }
+// scheduleCompletion (re)arms the completion timer of one component for its
+// earliest deadline. The timer is left untouched when that deadline is
+// unchanged, so a refill that does not alter the component's rates does not
+// perturb the engine's event sequence — the keystone of ModeGlobal and
+// ModeIncremental producing identical runs.
+func (n *Net) scheduleCompletion(c *component) {
+	next := math.Inf(1)
+	for _, f := range c.flows {
+		if f.deadline < next {
+			next = f.deadline
+		}
+	}
+	if math.IsInf(next, 1) {
+		if len(c.flows) > 0 {
+			panic("fabric: active flows but no positive rates; simulation would stall")
+		}
+		if c.timer != nil {
+			c.timer.Cancel()
+			c.timer = nil
+		}
+		return
+	}
+	if c.timer != nil && !c.timer.Stopped() && c.timerAt == next {
+		return
+	}
+	if c.timer != nil {
+		c.timer.Cancel()
+	}
+	if now := n.eng.Now(); next < now {
+		next = now
+	}
+	c.timerAt = next
+	c.timer = n.eng.At(next, func() { n.onCompletionTimer(c) })
+}
 
 func sortFlows(fs []*Flow) {
 	// insertion sort by ID; completion batches are small

@@ -1,0 +1,316 @@
+package fabric
+
+import "math"
+
+// shadowRelTol bounds the divergence allowed between per-component filling
+// and the seed's one-pass global filling. The two are equal in exact
+// arithmetic but accumulate `level` through different delta sequences, so
+// they may differ by a few ulps.
+const shadowRelTol = 1e-9
+
+// runShadow cross-checks the incrementally maintained state after a sync:
+//
+//   - structural invariants (back-pointers, flow counts, class counts);
+//   - the component partition against a from-scratch union-find;
+//   - every flow's rate against a from-scratch refill of its component
+//     (exact equality — fill is a pure function of membership, so any
+//     missed-dirty bug shows up as a bit difference here);
+//   - every resource's load against the sum of its flows' rates (exact);
+//   - every flow's deadline against its closed-form progress (exact);
+//   - all rates against the seed's one-pass global filling (within
+//     shadowRelTol).
+//
+// It is meant to run under tests and costs O(flows × resources) per sync.
+func (n *Net) runShadow() {
+	// Structural invariants.
+	nf := 0
+	for ci, c := range n.comps {
+		if c.dead {
+			n.shadow("component %d is dead but listed", c.id)
+			return
+		}
+		if c.cpos != ci {
+			n.shadow("component %d cpos=%d, listed at %d", c.id, c.cpos, ci)
+			return
+		}
+		if len(c.flows) == 0 {
+			n.shadow("component %d has no flows after sync", c.id)
+			return
+		}
+		for i, f := range c.flows {
+			if f.comp != c || f.cidx != i {
+				n.shadow("flow %d back-pointer broken in component %d", f.ID, c.id)
+				return
+			}
+			for _, r := range f.Path {
+				if r.comp != c {
+					n.shadow("flow %d (component %d) crosses resource %q owned elsewhere", f.ID, c.id, r.Name)
+					return
+				}
+			}
+		}
+		for i, r := range c.res {
+			if r.comp != c || r.ridx != i {
+				n.shadow("resource %q back-pointer broken in component %d", r.Name, c.id)
+				return
+			}
+		}
+		if c.timer == nil || c.timer.Stopped() {
+			n.shadow("component %d has flows but no armed completion timer", c.id)
+			return
+		}
+		nf += len(c.flows)
+	}
+	if nf != n.nFlows {
+		n.shadow("flow count %d, components hold %d", n.nFlows, nf)
+		return
+	}
+	counts := make(map[string]int)
+	for _, c := range n.comps {
+		for _, f := range c.flows {
+			if f.Class != "" {
+				counts[f.Class]++
+			}
+		}
+	}
+	for class, cnt := range n.classCount {
+		if cnt != counts[class] {
+			n.shadow("class %q count %d, flows say %d", class, cnt, counts[class])
+			return
+		}
+	}
+	for class, cnt := range counts {
+		if cnt != n.classCount[class] {
+			n.shadow("class %q count %d missing from bookkeeping", class, cnt)
+			return
+		}
+	}
+
+	// The partition, from scratch.
+	idx := make(map[*Resource]int)
+	var all []*Resource
+	for _, c := range n.comps {
+		for _, r := range c.res {
+			idx[r] = len(all)
+			all = append(all, r)
+		}
+	}
+	parent := make([]int, len(all))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for _, c := range n.comps {
+		for _, f := range c.flows {
+			if len(f.Path) == 0 {
+				continue
+			}
+			i0, ok := idx[f.Path[0]]
+			if !ok {
+				n.shadow("flow %d path resource %q not owned by any component", f.ID, f.Path[0].Name)
+				return
+			}
+			r0 := find(i0)
+			for _, r := range f.Path[1:] {
+				ri, ok := idx[r]
+				if !ok {
+					n.shadow("flow %d path resource %q not owned by any component", f.ID, r.Name)
+					return
+				}
+				if r1 := find(ri); r1 != r0 {
+					parent[r1] = r0
+				}
+			}
+		}
+	}
+	rootOwner := make(map[int]*component)
+	for _, c := range n.comps {
+		rooted := false
+		root := -1
+		for _, f := range c.flows {
+			if len(f.Path) == 0 {
+				continue
+			}
+			r := find(idx[f.Path[0]])
+			if !rooted {
+				rooted, root = true, r
+			} else if r != root {
+				n.shadow("component %d holds two disconnected flow groups", c.id)
+				return
+			}
+		}
+		if !rooted {
+			if len(c.flows) != 1 || len(c.res) != 0 {
+				n.shadow("pathless component %d has %d flows, %d resources", c.id, len(c.flows), len(c.res))
+				return
+			}
+			continue
+		}
+		if o := rootOwner[root]; o != nil {
+			n.shadow("components %d and %d share a resource and should be one", o.id, c.id)
+			return
+		}
+		rootOwner[root] = c
+		for _, r := range c.res {
+			if find(idx[r]) != root {
+				n.shadow("resource %q in component %d is disconnected from its flows", r.Name, c.id)
+				return
+			}
+		}
+	}
+
+	// Exact refill per component, loads, and deadline consistency.
+	for _, c := range n.comps {
+		rates := shadowFill(c.flows)
+		for _, f := range c.flows {
+			if rates[f] != f.rate {
+				n.shadow("flow %d rate %g, fresh component refill says %g", f.ID, f.rate, rates[f])
+				return
+			}
+			if f.rate > 0 {
+				if want := f.since + (f.Size-f.done0)/f.rate; f.deadline != want {
+					n.shadow("flow %d deadline %g, closed form says %g", f.ID, f.deadline, want)
+					return
+				}
+			}
+		}
+		loads := make(map[*Resource]float64)
+		for _, f := range c.flows {
+			for _, r := range f.Path {
+				loads[r] += f.rate
+			}
+		}
+		for _, r := range c.res {
+			if loads[r] != r.load {
+				n.shadow("resource %q load %g, flow rates sum to %g", r.Name, r.load, loads[r])
+				return
+			}
+		}
+	}
+
+	// The seed's algorithm: one global filling pass over everything.
+	var flows []*Flow
+	for _, c := range n.comps {
+		flows = append(flows, c.flows...)
+	}
+	legacy := shadowFill(flows)
+	for _, f := range flows {
+		if !withinRel(legacy[f], f.rate, shadowRelTol) {
+			n.shadow("flow %d rate %g, legacy global filling says %g", f.ID, f.rate, legacy[f])
+			return
+		}
+	}
+}
+
+func withinRel(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= m*tol
+}
+
+// shadowFill runs progressive filling over an arbitrary flow set without
+// touching any simulator state. Applied to one component's flows it mirrors
+// fill bit-for-bit; applied to all active flows it reproduces the seed's
+// global one-pass algorithm.
+func shadowFill(flows []*Flow) map[*Flow]float64 {
+	rates := make(map[*Flow]float64, len(flows))
+	if len(flows) == 0 {
+		return rates
+	}
+	type scr struct{ resid, wsum float64 }
+	st := make(map[*Resource]*scr)
+	var res []*Resource
+	for _, f := range flows {
+		for _, r := range f.Path {
+			s := st[r]
+			if s == nil {
+				s = &scr{resid: r.Capacity}
+				st[r] = s
+				res = append(res, r)
+			}
+			s.wsum++
+		}
+	}
+	frozen := make(map[*Flow]bool, len(flows))
+	unfrozen := len(flows)
+	level := 0.0
+	const relEps = 1e-9
+	for unfrozen > 0 {
+		delta := math.Inf(1)
+		for _, r := range res {
+			if s := st[r]; s.wsum > relEps {
+				if d := s.resid / s.wsum; d < delta {
+					delta = d
+				}
+			}
+		}
+		for _, f := range flows {
+			if !frozen[f] && f.RateCap > 0 {
+				if d := f.RateCap - level; d < delta {
+					delta = d
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			for _, f := range flows {
+				if !frozen[f] {
+					frozen[f] = true
+					rates[f] = level
+				}
+			}
+			break
+		}
+		if delta < 0 {
+			delta = 0
+		}
+		level += delta
+		for _, r := range res {
+			s := st[r]
+			s.resid -= delta * s.wsum
+		}
+		frozeAny := false
+		for _, f := range flows {
+			if frozen[f] {
+				continue
+			}
+			capped := f.RateCap > 0 && level >= f.RateCap*(1-relEps)
+			saturated := false
+			if !capped {
+				for _, r := range f.Path {
+					if st[r].resid <= r.Capacity*relEps {
+						saturated = true
+						break
+					}
+				}
+			}
+			if capped || saturated {
+				frozen[f] = true
+				rates[f] = level
+				unfrozen--
+				for _, r := range f.Path {
+					st[r].wsum--
+				}
+				frozeAny = true
+			}
+		}
+		if !frozeAny {
+			for _, f := range flows {
+				if !frozen[f] {
+					frozen[f] = true
+					rates[f] = level
+					unfrozen--
+				}
+			}
+		}
+	}
+	return rates
+}

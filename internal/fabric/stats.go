@@ -1,0 +1,30 @@
+package fabric
+
+import "fmt"
+
+// RecomputeStats counts the work the allocator performed. The headline
+// number for the incremental-vs-global comparison is ResourceVisits: every
+// time the allocator reads or writes one resource during progressive
+// filling or re-partitioning. ModeGlobal revisits every resource on every
+// sync; ModeIncremental only visits the component(s) an event touched.
+type RecomputeStats struct {
+	Syncs          uint64 // coalesced recompute passes
+	Fills          uint64 // per-component progressive-filling runs
+	Rounds         uint64 // filling iterations (freeze rounds) across fills
+	ResourceVisits uint64 // resource touches during fill + repartition
+	FlowVisits     uint64 // flow touches during fill
+	Merges         uint64 // component merges (flow bridged components)
+	Splits         uint64 // component splits (removal fragmented one)
+	Repartitions   uint64 // union-find passes over a dirty component
+	Completions    uint64 // flows that finished normally
+	Components     int    // current component count (filled in by Stats)
+	PeakComponents int    // high-water mark of concurrent components
+}
+
+func (s RecomputeStats) String() string {
+	return fmt.Sprintf(
+		"syncs=%d fills=%d rounds=%d res-visits=%d flow-visits=%d merges=%d splits=%d repartitions=%d completions=%d comps=%d peak=%d",
+		s.Syncs, s.Fills, s.Rounds, s.ResourceVisits, s.FlowVisits,
+		s.Merges, s.Splits, s.Repartitions, s.Completions,
+		s.Components, s.PeakComponents)
+}

@@ -1,0 +1,207 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"hierknem/internal/buffer"
+	"hierknem/internal/topology"
+)
+
+// FuzzMatch drives randomized Isend/Irecv/WaitAll schedules through the
+// point-to-point matching machinery — eager and rendezvous, preposted and
+// unexpected arrivals, specific and wildcard receives — and asserts the
+// runtime's hard invariants on every schedule:
+//
+//   - no deadlock and no time-horizon blowup;
+//   - every request completes;
+//   - no message is lost or duplicated (payload bytes are verified);
+//   - request hygiene: the posted-receive and unexpected-message queues of
+//     every rank drain to empty.
+//
+// The input bytes are decoded into a *matched* plan (every send has exactly
+// one matching receive), so any hang the fuzzer finds is a runtime bug, not
+// an ill-formed program. Two global modes keep matching unambiguous:
+// mode A uses a unique tag and size per pair (received bytes are compared
+// against the exact sender pattern); mode B posts fully wildcard receives,
+// where arrival order is schedule-dependent, so all payloads share one size
+// (the transfer layer rejects size mismatches) and the received payloads
+// are compared as a multiset.
+
+const (
+	fuzzNP       = 4
+	fuzzMaxPairs = 48
+	wildSize     = 64
+)
+
+func fuzzWorld(t testing.TB) *World {
+	m, err := topology.Build(topology.Spec{
+		Name:              "fuzz",
+		Nodes:             2,
+		SocketsPerNode:    1,
+		CoresPerSocket:    2,
+		MemBandwidth:      10e9,
+		CoreCopyBandwidth: 3e9,
+		L3Bandwidth:       6e9,
+		L3Size:            12 << 20,
+		ShmLatency:        1e-6,
+		NetBandwidth:      1e9,
+		NetLatency:        10e-6,
+		NetFullDuplex:     true,
+		EagerThreshold:    4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := topology.ByCore(m, fuzzNP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(m, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A matched plan must terminate; a runaway virtual clock is a livelock.
+	w.Machine.Eng.MaxTime = 1e6
+	return w
+}
+
+// fuzzPair is one matched send/receive.
+type fuzzPair struct {
+	src, dst  int
+	tag       int
+	size      int64
+	deferRecv bool // receiver posts this Irecv after its Isends
+}
+
+// decodePlan turns fuzz bytes into a matched plan. Byte 0 selects the mode;
+// each subsequent 3-byte group describes one pair.
+func decodePlan(data []byte) (wild bool, pairs []fuzzPair) {
+	if len(data) == 0 {
+		return false, nil
+	}
+	wild = data[0]&1 == 1
+	data = data[1:]
+	for i := 0; i+2 < len(data) && len(pairs) < fuzzMaxPairs; i += 3 {
+		src := int(data[i]) % fuzzNP
+		dst := int(data[i+1]) % fuzzNP
+		if dst == src {
+			dst = (src + 1) % fuzzNP
+		}
+		p := fuzzPair{
+			src:       src,
+			dst:       dst,
+			tag:       len(pairs), // unique per pair in mode A
+			deferRecv: data[i+2]&2 != 0,
+			// Sizes straddle the 4096B eager threshold: both protocols.
+			size: int64(data[i+2])*37 + 1,
+		}
+		if wild {
+			p.size = wildSize
+		}
+		pairs = append(pairs, p)
+	}
+	return wild, pairs
+}
+
+// fuzzPattern is the payload for pair k: a function of the pair, never of
+// the schedule, so delivery can be verified byte for byte.
+func fuzzPattern(k int, size int64) []byte {
+	d := make([]byte, size)
+	for i := range d {
+		d[i] = byte((k*131 + i*29 + 17) % 251)
+	}
+	return d
+}
+
+func FuzzMatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("0ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghij")) // mode A, small sizes
+	f.Add([]byte("1zyxwvutsrqponmlkjihgfedcba9876543210")) // mode B, wildcards
+	f.Add([]byte{0, 1, 2, 0xff, 3, 0, 0xfe, 1, 3, 0xfd})   // mode A, rendezvous sizes
+	f.Add([]byte{1, 0, 1, 3, 1, 2, 3, 2, 3, 1, 3, 0, 2})   // mode B, fan-in to one rank
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wild, pairs := decodePlan(data)
+		w := fuzzWorld(t)
+
+		var reqs [][]*Request // per rank, under the cooperative scheduler
+		reqs = make([][]*Request, fuzzNP)
+		recvBufs := make([]*buffer.Buffer, len(pairs))
+		err := w.Run(func(p *Proc) {
+			c := w.WorldComm()
+			me := c.Rank(p)
+			post := func(k int, pair fuzzPair) {
+				buf := buffer.NewReal(make([]byte, pair.size))
+				recvBufs[k] = buf
+				if wild {
+					reqs[me] = append(reqs[me], p.Irecv(c, buf, AnySource, AnyTag))
+				} else {
+					reqs[me] = append(reqs[me], p.Irecv(c, buf, pair.src, pair.tag))
+				}
+			}
+			var deferred []int
+			for k, pair := range pairs {
+				if pair.dst == me && !pair.deferRecv {
+					post(k, pair)
+				}
+				if pair.src == me {
+					sbuf := buffer.NewReal(fuzzPattern(k, pair.size))
+					reqs[me] = append(reqs[me], p.Isend(c, sbuf, pair.dst, pair.tag))
+				}
+				if pair.dst == me && pair.deferRecv {
+					deferred = append(deferred, k)
+				}
+			}
+			for _, k := range deferred {
+				post(k, pairs[k])
+			}
+			p.WaitAll(reqs[me]...)
+		})
+		if err != nil {
+			t.Fatalf("runtime stalled on a matched plan: %v", err)
+		}
+
+		for rank, rs := range reqs {
+			for _, r := range rs {
+				if !r.Done() {
+					t.Fatalf("rank %d: WaitAll returned with an incomplete request", rank)
+				}
+			}
+		}
+		for rank := 0; rank < fuzzNP; rank++ {
+			p := w.Proc(rank)
+			if len(p.posted) != 0 {
+				t.Fatalf("rank %d: %d posted receives leaked", rank, len(p.posted))
+			}
+			if len(p.unexpected) != 0 {
+				t.Fatalf("rank %d: %d unexpected messages leaked", rank, len(p.unexpected))
+			}
+		}
+
+		if wild {
+			// Arrival order is schedule-dependent: verify the multiset.
+			var got, want []string
+			for k, pair := range pairs {
+				got = append(got, fmt.Sprintf("%d:%x", pair.dst, recvBufs[k].Data()))
+				want = append(want, fmt.Sprintf("%d:%x", pair.dst, fuzzPattern(k, pair.size)))
+			}
+			sort.Strings(got)
+			sort.Strings(want)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("wildcard delivery lost or corrupted a payload (entry %d)", i)
+				}
+			}
+		} else {
+			for k, pair := range pairs {
+				if !bytes.Equal(recvBufs[k].Data(), fuzzPattern(k, pair.size)) {
+					t.Fatalf("pair %d (%d->%d, tag %d, %dB): payload corrupted",
+						k, pair.src, pair.dst, pair.tag, pair.size)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# bench.sh — the reproducible fabric-allocator performance harness.
+#
+# Runs the BenchmarkFabric* suite (Fig3a 768-rank broadcast sweep, Fig5
+# 768-rank Allgather, Table II ASP) under both allocator modes and distills
+# results/BENCH_fabric.json via cmd/benchjson, enforcing the acceptance
+# criterion: incremental mode must perform >=2x fewer resource visits than
+# global mode on the Fig3a sweep.
+#
+# Environment knobs:
+#   BENCHTIME        go test -benchtime value (default 1x: one deterministic
+#                    simulated run per configuration)
+#   MIN_VISIT_RATIO  the enforced ratio (default 2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+echo "==> go test -bench BenchmarkFabric (-benchtime ${BENCHTIME:-1x})"
+go test -run '^$' -bench 'BenchmarkFabric' -benchtime "${BENCHTIME:-1x}" -benchmem . |
+    tee results/bench_fabric.txt
+
+echo "==> benchjson -> results/BENCH_fabric.json"
+go run ./cmd/benchjson \
+    -min-visit-ratio "${MIN_VISIT_RATIO:-2}" \
+    -enforce 'Fig3a' \
+    -o results/BENCH_fabric.json < results/bench_fabric.txt
+
+echo "bench: wrote results/BENCH_fabric.json (criterion passed)"

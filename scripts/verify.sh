@@ -6,6 +6,9 @@
 #   hierlint  the simulator-invariant analyzers (cmd/hierlint):
 #             determinism, requesthygiene, errcheck, bufferescape
 #   test      the full suite under the race detector
+#   fuzz      10s FuzzMatch smoke over the p2p matching machinery
+#   bench     the fabric-allocator harness (scripts/bench.sh), enforcing
+#             the >=2x resource-visit criterion on the Fig3a sweep
 #
 # Run from anywhere; it anchors itself at the repo root.
 set -euo pipefail
@@ -22,5 +25,11 @@ go run ./cmd/hierlint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> fuzz smoke (FuzzMatch, 10s)"
+go test ./internal/mpi -run '^$' -fuzz '^FuzzMatch$' -fuzztime 10s
+
+echo "==> bench (fabric allocator)"
+scripts/bench.sh
 
 echo "verify: all gates passed"

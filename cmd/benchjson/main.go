@@ -1,15 +1,35 @@
-// benchjson distills `go test -bench` output into results/BENCH_fabric.json.
+// benchjson distills `go test -bench` output into the checked-in benchmark
+// JSON documents (results/BENCH_fabric.json, results/BENCH_des.json).
 //
-// It reads the benchmark text on stdin, groups the BenchmarkFabric*
-// mode=incremental / mode=global pairs, computes the resource-visit and
-// wall-clock ratios between the two allocator modes, and optionally
-// enforces a minimum visit ratio (the ISSUE acceptance bar: incremental
-// must do >=2x fewer resource visits on the Fig3a broadcast sweep).
+// It reads the benchmark text on stdin and aggregates repeated lines from
+// `-count N` runs into mean ± stddev per metric; every gate below compares
+// means. Two schemas:
+//
+//   - fabric (default, hierknem/bench-fabric/v1): groups the BenchmarkFabric*
+//     mode=incremental / mode=global pairs, computes the resource-visit and
+//     wall-clock ratios between the two allocator modes, and optionally
+//     enforces a minimum visit ratio (the allocator acceptance bar:
+//     incremental must do >=2x fewer resource visits on the Fig3a sweep).
+//
+//   - des (-schema des, hierknem/bench-des/v1): the DES hot-path suite.
+//     Without -baseline it just emits the aggregated document (how
+//     results/BASELINE_des.json was recorded, from the pre-overhaul tree
+//     pinned to the ModeGlobal fabric). With -baseline it joins each
+//     benchmark to its baseline twin and enforces the overhaul acceptance
+//     bar on -enforce matches: events/sec mean >= min-speedup x baseline
+//     and allocs/op mean <= baseline / min-alloc-ratio. Independently of
+//     -enforce, events/op must equal the baseline exactly for every joined
+//     benchmark — the count of dispatched events is the determinism canary,
+//     so any drift fails the run even if throughput improved.
 //
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkFabric -benchtime 1x -benchmem . |
 //	    go run ./cmd/benchjson -min-visit-ratio 2 -enforce Fig3a -o results/BENCH_fabric.json
+//
+//	go test -run '^$' -bench BenchmarkDES -benchtime 1x -count 3 -benchmem . |
+//	    go run ./cmd/benchjson -schema des -baseline results/BASELINE_des.json \
+//	        -min-speedup 1.5 -min-alloc-ratio 2 -enforce Fig3a -o results/BENCH_des.json
 package main
 
 import (
@@ -17,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"runtime"
@@ -25,16 +46,24 @@ import (
 	"strings"
 )
 
-// Benchmark is one `go test -bench` result line. Metrics maps every
-// reported unit ("ns/op", "res-visits/op", "events/sec", "B/op", ...) to
-// its per-op value.
-type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+// rawBench is one `go test -bench` result line before aggregation.
+type rawBench struct {
+	name    string
+	iters   int64
+	metrics map[string]float64
 }
 
-// Comparison pairs one workload's incremental and global runs.
+// Benchmark is one aggregated benchmark: the mean of every metric across
+// the -count repetitions, with per-metric sample stddev when runs > 1.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Runs       int                `json:"runs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Stddev     map[string]float64 `json:"stddev,omitempty"`
+}
+
+// Comparison pairs one workload's incremental and global runs (fabric).
 type Comparison struct {
 	Benchmark            string  `json:"benchmark"`
 	ResVisitsIncremental float64 `json:"res_visits_incremental"`
@@ -45,22 +74,39 @@ type Comparison struct {
 	Speedup              float64 `json:"speedup"` // global ns / incremental ns
 }
 
-// Report is the BENCH_fabric.json document.
+// DESComparison joins one DES benchmark with its baseline twin.
+type DESComparison struct {
+	Benchmark            string  `json:"benchmark"`
+	EventsPerSec         float64 `json:"events_per_sec"`
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec"`
+	Speedup              float64 `json:"speedup"` // current / baseline
+	AllocsPerOp          float64 `json:"allocs_per_op"`
+	BaselineAllocsPerOp  float64 `json:"baseline_allocs_per_op"`
+	AllocRatio           float64 `json:"alloc_ratio"` // baseline / current
+	EventsPerOp          float64 `json:"events_per_op"`
+	BaselineEventsPerOp  float64 `json:"baseline_events_per_op"`
+	EventsMatch          bool    `json:"events_match"`
+}
+
+// Report is the emitted JSON document (either schema).
 type Report struct {
-	Schema      string       `json:"schema"`
-	GoVersion   string       `json:"go_version"`
-	Goos        string       `json:"goos,omitempty"`
-	Goarch      string       `json:"goarch,omitempty"`
-	CPU         string       `json:"cpu,omitempty"`
-	Pkg         string       `json:"pkg,omitempty"`
-	Benchmarks  []Benchmark  `json:"benchmarks"`
-	Comparisons []Comparison `json:"comparisons"`
-	Criterion   *Criterion   `json:"criterion,omitempty"`
+	Schema         string          `json:"schema"`
+	GoVersion      string          `json:"go_version"`
+	Goos           string          `json:"goos,omitempty"`
+	Goarch         string          `json:"goarch,omitempty"`
+	CPU            string          `json:"cpu,omitempty"`
+	Pkg            string          `json:"pkg,omitempty"`
+	Benchmarks     []Benchmark     `json:"benchmarks"`
+	Comparisons    []Comparison    `json:"comparisons,omitempty"`
+	DESComparisons []DESComparison `json:"des_comparisons,omitempty"`
+	Criterion      *Criterion      `json:"criterion,omitempty"`
 }
 
 // Criterion records the enforced acceptance bar and its outcome.
 type Criterion struct {
-	MinVisitRatio float64 `json:"min_visit_ratio"`
+	MinVisitRatio float64 `json:"min_visit_ratio,omitempty"`
+	MinSpeedup    float64 `json:"min_speedup,omitempty"`
+	MinAllocRatio float64 `json:"min_alloc_ratio,omitempty"`
 	AppliesTo     string  `json:"applies_to"`
 	Pass          bool    `json:"pass"`
 }
@@ -69,42 +115,61 @@ const modeKey = "mode=incremental"
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
-	minRatio := flag.Float64("min-visit-ratio", 0, "fail unless every enforced pair's visit ratio meets this")
-	enforce := flag.String("enforce", "Fig3a", "regexp selecting the benchmarks the ratio bar applies to")
+	schema := flag.String("schema", "fabric", "document schema: fabric or des")
+	minRatio := flag.Float64("min-visit-ratio", 0, "fabric: fail unless every enforced pair's visit ratio meets this")
+	baseline := flag.String("baseline", "", "des: baseline JSON (a bench-des/v1 document) to compare against")
+	minSpeedup := flag.Float64("min-speedup", 0, "des: fail unless every enforced benchmark's events/sec speedup meets this")
+	minAllocRatio := flag.Float64("min-alloc-ratio", 0, "des: fail unless every enforced benchmark allocates this many times less than baseline")
+	enforce := flag.String("enforce", "Fig3a", "regexp selecting the benchmarks the bars apply to")
 	flag.Parse()
 
-	rep := &Report{Schema: "hierknem/bench-fabric/v1", GoVersion: runtime.Version()}
-	if err := parse(bufio.NewScanner(os.Stdin), rep); err != nil {
+	rep := &Report{GoVersion: runtime.Version()}
+	var raws []rawBench
+	if err := parse(bufio.NewScanner(os.Stdin), rep, &raws); err != nil {
 		fatal(err)
 	}
-	if len(rep.Benchmarks) == 0 {
+	if len(raws) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
-	compare(rep)
+	rep.Benchmarks = aggregate(raws)
+
+	re, err := regexp.Compile(*enforce)
+	if err != nil {
+		fatal(fmt.Errorf("bad -enforce pattern: %w", err))
+	}
 
 	pass := true
-	if *minRatio > 0 {
-		re, err := regexp.Compile(*enforce)
-		if err != nil {
-			fatal(fmt.Errorf("bad -enforce pattern: %w", err))
-		}
-		enforced := 0
-		for _, c := range rep.Comparisons {
-			if !re.MatchString(c.Benchmark) {
-				continue
+	switch *schema {
+	case "fabric":
+		rep.Schema = "hierknem/bench-fabric/v1"
+		compare(rep)
+		if *minRatio > 0 {
+			enforced := 0
+			for _, c := range rep.Comparisons {
+				if !re.MatchString(c.Benchmark) {
+					continue
+				}
+				enforced++
+				if c.VisitRatio < *minRatio {
+					pass = false
+					fmt.Fprintf(os.Stderr, "benchjson: %s visit ratio %.2f < %.2f\n",
+						c.Benchmark, c.VisitRatio, *minRatio)
+				}
 			}
-			enforced++
-			if c.VisitRatio < *minRatio {
+			if enforced == 0 {
 				pass = false
-				fmt.Fprintf(os.Stderr, "benchjson: %s visit ratio %.2f < %.2f\n",
-					c.Benchmark, c.VisitRatio, *minRatio)
+				fmt.Fprintf(os.Stderr, "benchjson: no comparison matches -enforce %q\n", *enforce)
 			}
+			rep.Criterion = &Criterion{MinVisitRatio: *minRatio, AppliesTo: *enforce, Pass: pass}
 		}
-		if enforced == 0 {
-			pass = false
-			fmt.Fprintf(os.Stderr, "benchjson: no comparison matches -enforce %q\n", *enforce)
+	case "des":
+		rep.Schema = "hierknem/bench-des/v1"
+		if *baseline != "" {
+			pass = compareDES(rep, *baseline, re, *minSpeedup, *minAllocRatio)
+			rep.Criterion = &Criterion{MinSpeedup: *minSpeedup, MinAllocRatio: *minAllocRatio, AppliesTo: *enforce, Pass: pass}
 		}
-		rep.Criterion = &Criterion{MinVisitRatio: *minRatio, AppliesTo: *enforce, Pass: pass}
+	default:
+		fatal(fmt.Errorf("unknown -schema %q (want fabric or des)", *schema))
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -120,13 +185,13 @@ func main() {
 		fatal(err)
 	}
 	if !pass {
-		fatal(fmt.Errorf("visit-ratio criterion failed"))
+		fatal(fmt.Errorf("acceptance criterion failed"))
 	}
 }
 
 // parse consumes `go test -bench` text: context lines (goos/goarch/cpu/pkg)
 // and benchmark result lines.
-func parse(sc *bufio.Scanner, rep *Report) error {
+func parse(sc *bufio.Scanner, rep *Report, raws *[]rawBench) error {
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -143,38 +208,93 @@ func parse(sc *bufio.Scanner, rep *Report) error {
 			if err != nil {
 				return fmt.Errorf("line %q: %w", line, err)
 			}
-			rep.Benchmarks = append(rep.Benchmarks, b)
+			*raws = append(*raws, b)
 		}
 	}
 	return sc.Err()
 }
 
 // parseBench splits "BenchmarkX/sub-8  3  123 ns/op  4 res-visits/op ...".
-func parseBench(line string) (Benchmark, error) {
+func parseBench(line string) (rawBench, error) {
 	f := strings.Fields(line)
 	if len(f) < 4 || len(f)%2 != 0 {
-		return Benchmark{}, fmt.Errorf("malformed benchmark line")
+		return rawBench{}, fmt.Errorf("malformed benchmark line")
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, fmt.Errorf("iterations: %w", err)
+		return rawBench{}, fmt.Errorf("iterations: %w", err)
 	}
-	b := Benchmark{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	b := rawBench{name: trimProcSuffix(f[0]), iters: iters, metrics: map[string]float64{}}
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
-			return Benchmark{}, fmt.Errorf("metric %q: %w", f[i+1], err)
+			return rawBench{}, fmt.Errorf("metric %q: %w", f[i+1], err)
 		}
-		b.Metrics[f[i+1]] = v
+		b.metrics[f[i+1]] = v
 	}
 	return b, nil
+}
+
+// aggregate groups repeated -count runs of the same benchmark into one
+// Benchmark with per-metric mean and sample stddev. First-appearance order
+// is preserved.
+func aggregate(raws []rawBench) []Benchmark {
+	type acc struct {
+		runs   int
+		iters  int64
+		sum    map[string]float64
+		sumsq  map[string]float64
+		metric []string // insertion order, for stable output
+	}
+	byName := map[string]*acc{}
+	var order []string
+	for _, r := range raws {
+		a := byName[r.name]
+		if a == nil {
+			a = &acc{sum: map[string]float64{}, sumsq: map[string]float64{}}
+			byName[r.name] = a
+			order = append(order, r.name)
+		}
+		a.runs++
+		a.iters += r.iters
+		for unit, v := range r.metrics {
+			if _, seen := a.sum[unit]; !seen {
+				a.metric = append(a.metric, unit)
+			}
+			a.sum[unit] += v
+			a.sumsq[unit] += v * v
+		}
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		b := Benchmark{Name: name, Runs: a.runs, Iterations: a.iters, Metrics: map[string]float64{}}
+		n := float64(a.runs)
+		sort.Strings(a.metric)
+		for _, unit := range a.metric {
+			mean := a.sum[unit] / n
+			b.Metrics[unit] = mean
+			if a.runs > 1 {
+				if b.Stddev == nil {
+					b.Stddev = map[string]float64{}
+				}
+				varr := (a.sumsq[unit] - n*mean*mean) / (n - 1)
+				if varr < 0 {
+					varr = 0 // float cancellation on identical samples
+				}
+				b.Stddev[unit] = math.Sqrt(varr)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
 }
 
 // compare joins each mode=incremental benchmark with its mode=global twin.
 func compare(rep *Report) {
 	byName := make(map[string]Benchmark, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
-		byName[trimProcSuffix(b.Name)] = b
+		byName[b.Name] = b
 	}
 	var names []string
 	for name := range byName {
@@ -204,6 +324,82 @@ func compare(rep *Report) {
 		}
 		rep.Comparisons = append(rep.Comparisons, c)
 	}
+}
+
+// compareDES joins every current benchmark with its baseline twin and
+// applies the DES acceptance bars. Returns overall pass/fail.
+func compareDES(rep *Report, baselinePath string, re *regexp.Regexp, minSpeedup, minAllocRatio float64) bool {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("baseline: %w", err))
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("baseline %s: %w", baselinePath, err))
+	}
+	if base.Schema != "hierknem/bench-des/v1" {
+		fatal(fmt.Errorf("baseline %s: schema %q, want hierknem/bench-des/v1", baselinePath, base.Schema))
+	}
+	byName := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		byName[b.Name] = b
+	}
+
+	pass := true
+	enforced := 0
+	for _, b := range rep.Benchmarks {
+		bl, ok := byName[b.Name]
+		if !ok {
+			continue
+		}
+		c := DESComparison{
+			Benchmark:            b.Name,
+			EventsPerSec:         b.Metrics["events/sec"],
+			BaselineEventsPerSec: bl.Metrics["events/sec"],
+			AllocsPerOp:          b.Metrics["allocs/op"],
+			BaselineAllocsPerOp:  bl.Metrics["allocs/op"],
+			EventsPerOp:          b.Metrics["events/op"],
+			BaselineEventsPerOp:  bl.Metrics["events/op"],
+		}
+		if c.BaselineEventsPerSec > 0 {
+			c.Speedup = c.EventsPerSec / c.BaselineEventsPerSec
+		}
+		if c.AllocsPerOp > 0 {
+			c.AllocRatio = c.BaselineAllocsPerOp / c.AllocsPerOp
+		}
+		// events/op is a per-run constant of the deterministic simulation:
+		// means across -count repetitions must agree bit-for-bit with the
+		// baseline, or the engine overhaul changed observable behavior.
+		c.EventsMatch = c.EventsPerOp == c.BaselineEventsPerOp
+		if !c.EventsMatch {
+			pass = false
+			fmt.Fprintf(os.Stderr, "benchjson: %s events/op %.0f != baseline %.0f (determinism canary)\n",
+				c.Benchmark, c.EventsPerOp, c.BaselineEventsPerOp)
+		}
+		if re.MatchString(b.Name) {
+			enforced++
+			if minSpeedup > 0 && c.Speedup < minSpeedup {
+				pass = false
+				fmt.Fprintf(os.Stderr, "benchjson: %s events/sec speedup %.2f < %.2f\n",
+					c.Benchmark, c.Speedup, minSpeedup)
+			}
+			if minAllocRatio > 0 && c.AllocRatio < minAllocRatio {
+				pass = false
+				fmt.Fprintf(os.Stderr, "benchjson: %s alloc ratio %.2f < %.2f\n",
+					c.Benchmark, c.AllocRatio, minAllocRatio)
+			}
+		}
+		rep.DESComparisons = append(rep.DESComparisons, c)
+	}
+	if len(rep.DESComparisons) == 0 {
+		pass = false
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches the baseline document\n")
+	}
+	if enforced == 0 && (minSpeedup > 0 || minAllocRatio > 0) {
+		pass = false
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -enforce %q\n", re.String())
+	}
+	return pass
 }
 
 // trimProcSuffix drops the trailing "-8" GOMAXPROCS marker.

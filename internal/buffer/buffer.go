@@ -60,9 +60,15 @@ func (b *Buffer) Data() []byte {
 
 // Slice returns a view of n bytes starting at off, sharing identity and
 // backing storage with b.
+// Slice must stay within the compiler's inlining budget: collectives carve a
+// segment header on every hop, and only an inlined Slice lets escape
+// analysis keep those headers on the caller's stack. Hence the unsigned
+// bounds check (off < 0, n < 0 and off+n > size in two compares) and the
+// constant panic string — a formatted message would cost a call and push the
+// function past the budget.
 func (b *Buffer) Slice(off, n int64) *Buffer {
-	if off < 0 || n < 0 || off+n > b.size {
-		panic(fmt.Sprintf("buffer: slice [%d:%d] of %d-byte buffer", off, off+n, b.size))
+	if uint64(off) > uint64(b.size) || uint64(n) > uint64(b.size-off) {
+		panic("buffer: slice bounds out of range")
 	}
 	return &Buffer{id: b.id, off: b.off + off, size: n, data: b.data}
 }

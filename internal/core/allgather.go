@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 
 	"hierknem/internal/buffer"
 	"hierknem/internal/coll"
@@ -103,7 +103,7 @@ func (m *Module) allgatherLeader(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Bu
 	lcomm := hy.LComm
 	block := sbuf.Len()
 	spec := &p.World().Machine.Spec
-	key := fmt.Sprintf("hkag/%d", lcomm.Seq(p))
+	key := "hkag/" + strconv.Itoa(lcomm.Seq(p))
 
 	nodeBytes := block * int64(lcomm.Size())
 	nodes := hy.NodeCount

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 
 	"hierknem/internal/buffer"
 	"hierknem/internal/knem"
@@ -83,7 +83,7 @@ func (m *Module) Bcast(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer, root int) {
 	spec := &p.World().Machine.Spec
 
 	lcomm := hy.LComm
-	key := fmt.Sprintf("hkbcast/%d", lcomm.Seq(p))
+	key := "hkbcast/" + strconv.Itoa(lcomm.Seq(p))
 	onRootNode := hy.NodeIndex == hy.RootNodeIndex
 
 	if hy.IsLeader {

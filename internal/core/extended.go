@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 
 	"hierknem/internal/buffer"
 	"hierknem/internal/coll"
@@ -32,7 +32,7 @@ func (m *Module) Scatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, ro
 	block := rbuf.Len()
 	nodeBytes := block * int64(lcomm.Size())
 	spec := &p.World().Machine.Spec
-	key := fmt.Sprintf("hkscatter/%d", lcomm.Seq(p))
+	key := "hkscatter/" + strconv.Itoa(lcomm.Seq(p))
 
 	// Position of this rank within its node's contiguous comm-rank block.
 	// (lcomm rank order is reshuffled by root promotion, so derive the
@@ -93,7 +93,7 @@ func (m *Module) Gather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, roo
 	block := sbuf.Len()
 	nodeBytes := block * int64(lcomm.Size())
 	spec := &p.World().Machine.Spec
-	key := fmt.Sprintf("hkgather/%d", lcomm.Seq(p))
+	key := "hkgather/" + strconv.Itoa(lcomm.Seq(p))
 	pos := int64(c.Rank(p) % lcomm.Size())
 
 	if hy.IsLeader {
@@ -143,7 +143,7 @@ func (m *Module) Allreduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rb
 	hy := m.hierarchy(p, c, 0)
 	lcomm := hy.LComm
 	spec := &p.World().Machine.Spec
-	key := fmt.Sprintf("hkallreduce/%d", lcomm.Seq(p))
+	key := "hkallreduce/" + strconv.Itoa(lcomm.Seq(p))
 
 	// Phase 1: intra-node reduction to the leader (lcomm rank 0).
 	var acc *buffer.Buffer

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 
 	"hierknem/internal/buffer"
 	"hierknem/internal/coll"
@@ -74,7 +74,7 @@ func (m *Module) Reduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rbuf 
 	}
 
 	newComm := hy.NewComm(p)
-	key := fmt.Sprintf("hkreduce/%d", lcomm.Seq(p))
+	key := "hkreduce/" + strconv.Itoa(lcomm.Seq(p))
 
 	switch {
 	case lrank == 0:

@@ -1,9 +1,9 @@
 // Package des implements a deterministic discrete-event simulation engine.
 //
-// The engine advances a virtual clock through a priority queue of events.
-// Simulated processes are real goroutines that execute cooperatively: at any
-// instant at most one process goroutine runs, and control passes between the
-// engine and a process through a strict channel handoff. Because exactly one
+// The engine advances a virtual clock through an event queue. Simulated
+// processes are real goroutines that execute cooperatively: at any instant
+// at most one process goroutine runs, and control passes between the engine
+// and a process through a strict channel handoff. Because exactly one
 // goroutine is ever runnable, process code needs no locking, and runs are
 // bit-for-bit deterministic: ties in virtual time are broken by event
 // sequence number.
@@ -13,12 +13,25 @@
 // a Wake issued by another process or callback). Wakeups are themselves
 // events, so the order in which concurrently-unblocked processes resume is
 // deterministic.
+//
+// The event queue is two-tiered. Events scheduled at the current timestamp —
+// zero-sleeps, wakes, eager completions, the majority in collective inner
+// loops — go to a FIFO "now-bucket"; only events in the strict future pay
+// for the binary heap. Dispatch order is exactly (time, seq) either way: a
+// heap event at the current timestamp was necessarily scheduled before the
+// clock reached it, so its sequence number is smaller than that of any
+// bucket event, and the bucket itself is FIFO in sequence order.
+//
+// Event records are recycled through a free list on the engine, and resume
+// events carry their target process and park generation as typed fields
+// instead of a capturing closure, so the steady-state Sleep/Park/Wake path
+// allocates nothing.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 )
 
@@ -28,8 +41,17 @@ type Engine struct {
 	now       float64
 	seq       uint64
 	processed uint64
-	queue     eventHeap
-	parked    chan struct{} // handshake: a process signals it yielded control
+
+	queue      eventHeap // events in the strict future (at insertion time)
+	bucket     []*event  // FIFO of events at the current timestamp
+	bucketPos  int       // next bucket entry to dispatch
+	bucketLive int       // bucket entries not yet dispatched or cancelled
+	pool       []*event  // free list of recycled event records
+
+	// mainWake returns the baton to Run's goroutine when the queue drains
+	// (or MaxTime trips) while a process goroutine is dispatching.
+	mainWake chan struct{}
+	runErr   error
 
 	procs   []*Proc
 	alive   int
@@ -43,58 +65,161 @@ type Engine struct {
 
 // New returns an empty engine with the virtual clock at zero.
 func New() *Engine {
-	return &Engine{parked: make(chan struct{})}
+	return &Engine{mainWake: make(chan struct{})}
 }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// event is one scheduled occurrence. Exactly one of fn (callback event) and
+// proc (typed resume event) is set while queued; both are nil once the event
+// fired, was cancelled, or sits in the free list.
+type event struct {
+	at  float64
+	seq uint64
+	// gen is bumped every time the record is recycled; Timer handles
+	// snapshot it so a handle to a fired event can never touch the
+	// record's next life.
+	gen     uint64
+	fn      func()
+	proc    *Proc  // non-nil: resume proc if it is still parked at parkGen
+	parkGen uint64 // park generation the resume targets
+	idx     int    // heap position; bucketIdx in the bucket; -1 detached
+}
 
-// Cancel prevents the timer's callback from firing and removes the event
-// from the engine's queue immediately, so heavily rescheduled timers (the
-// fabric re-arms one completion timer per flow component) do not accumulate
-// dead entries in the heap. Cancelling an already fired or cancelled timer
-// is a no-op.
+// bucketIdx marks an event as living in the now-bucket rather than the heap.
+const bucketIdx = -2
+
+// dead reports that the event was cancelled in place.
+func (ev *event) dead() bool { return ev.fn == nil && ev.proc == nil }
+
+// alloc takes an event record from the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (e *Engine) alloc(at float64) *event {
+	var ev *event
+	if n := len(e.pool); n > 0 {
+		ev = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	return ev
+}
+
+// release clears an event record and returns it to the free list. The
+// generation bump invalidates any Timer handle still pointing here.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.proc = nil
+	ev.gen++
+	ev.idx = -1
+	e.pool = append(e.pool, ev)
+}
+
+// schedule allocates an event at absolute time t and enqueues it: the
+// now-bucket for the current timestamp, the heap for the future.
+func (e *Engine) schedule(t float64) *event {
+	ev := e.alloc(t)
+	if t == e.now {
+		ev.idx = bucketIdx
+		e.bucket = append(e.bucket, ev)
+		e.bucketLive++
+	} else {
+		e.queue.push(ev)
+	}
+	return ev
+}
+
+// pop removes and returns the globally least (time, seq) event, or nil when
+// none remain. While the bucket holds events, the clock cannot advance; a
+// heap event at the current timestamp always precedes every bucket event
+// because it was scheduled before the clock reached now (smaller seq).
+func (e *Engine) pop() *event {
+	if e.bucketPos < len(e.bucket) {
+		if len(e.queue) > 0 && e.queue[0].at <= e.now {
+			return e.queue.popMin()
+		}
+		ev := e.bucket[e.bucketPos]
+		e.bucket[e.bucketPos] = nil
+		e.bucketPos++
+		if e.bucketPos == len(e.bucket) {
+			e.bucket = e.bucket[:0]
+			e.bucketPos = 0
+		}
+		if !ev.dead() {
+			e.bucketLive--
+		}
+		ev.idx = -1
+		return ev
+	}
+	if len(e.queue) > 0 {
+		return e.queue.popMin()
+	}
+	return nil
+}
+
+// Timer is a handle to a scheduled event that can be cancelled. Timers are
+// plain values; the zero Timer is stopped. A Timer holds a generation
+// snapshot, so handles to fired events are inert — they can never cancel
+// the recycled record's next occupant.
+type Timer struct {
+	eng *Engine
+	ev  *event
+	gen uint64
+}
+
+// Cancel prevents the timer's callback from firing. Heap events are removed
+// immediately (O(log n)), so heavily rescheduled timers (the fabric re-arms
+// one completion timer per flow component) do not accumulate dead entries.
+// Bucket events are marked dead in place (O(1)); the bucket drains within
+// the current timestamp, so dead entries cannot pile up either. Cancelling
+// an already fired or cancelled timer is a no-op. Cancel also drops the
+// handle's references so a long-lived cancelled Timer does not pin the
+// engine or its queues.
 func (t *Timer) Cancel() {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+	if t == nil || t.ev == nil {
 		return
 	}
-	t.ev.fn = nil
-	if t.ev.idx >= 0 {
-		heap.Remove(&t.ev.eng.queue, t.ev.idx)
+	ev, eng := t.ev, t.eng
+	t.ev = nil
+	t.eng = nil
+	if ev.gen != t.gen {
+		return // already fired or recycled
+	}
+	switch {
+	case ev.idx >= 0:
+		eng.queue.removeAt(ev.idx)
+		eng.release(ev)
+	case ev.idx == bucketIdx:
+		ev.fn = nil
+		ev.proc = nil
+		eng.bucketLive--
 	}
 }
 
 // Stopped reports whether the timer was cancelled or already fired.
-func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.fn == nil }
-
-type event struct {
-	at  float64
-	seq uint64
-	fn  func()
-	eng *Engine
-	idx int // position in the engine's heap; -1 once popped or removed
-}
+func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.gen != t.gen }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently corrupt causality.
-func (e *Engine) At(t float64, fn func()) *Timer {
+func (e *Engine) At(t float64, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("des: scheduling event at %g before now %g", t, e.now))
 	}
 	if math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("des: scheduling event at non-finite time %g", t))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn, eng: e}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	ev := e.schedule(t)
+	ev.fn = fn
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d seconds of virtual time from now.
-func (e *Engine) After(d float64, fn func()) *Timer {
+func (e *Engine) After(d float64, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("des: negative delay %g", d))
 	}
@@ -109,7 +234,7 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 
-	// parkGen counts parks; resume events capture the generation they
+	// parkGen counts parks; resume events carry the generation they
 	// target so stale resumes (a Wake racing a timer, or vice versa)
 	// are ignored instead of corrupting the handoff.
 	parkGen     uint64
@@ -118,6 +243,12 @@ type Proc struct {
 	pendingWake bool
 	done        bool
 	started     bool
+
+	// awaitRemaining and awaitDone back Await/AwaitAll without a fresh
+	// counter and closure per call: a process runs at most one await at a
+	// time (it is parked for the duration), so one cached pair suffices.
+	awaitRemaining int
+	awaitDone      func()
 }
 
 // ID returns the process's spawn index, unique within its engine.
@@ -137,62 +268,88 @@ func (p *Proc) Now() float64 { return p.eng.now }
 // scheduler; when body returns the process terminates.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	p := &Proc{eng: e, id: len(e.procs), name: name, resume: make(chan struct{})}
+	p.awaitDone = func() {
+		p.awaitRemaining--
+		if p.awaitRemaining == 0 {
+			p.Wake()
+		}
+	}
+	// A spawned process starts parked at generation 0; its start is an
+	// ordinary typed resume event at the current time.
+	p.parkedFlag = true
 	e.procs = append(e.procs, p)
 	e.alive++
 	go func() {
 		<-p.resume
+		p.parkedFlag = false
+		p.started = true
 		body(p)
 		p.done = true
 		e.alive--
-		e.parked <- struct{}{}
+		// The exiting goroutine carries the baton forward: it dispatches
+		// until the baton moves to another process (or back to Run), then
+		// dies. self is nil — a finished process cannot be resumed.
+		e.dispatch(nil, false)
 	}()
-	e.At(e.now, func() {
-		p.started = true
-		e.transfer(p)
-	})
+	e.resumeEventFor(p, 0, e.now)
 	return p
 }
 
-// transfer hands control to p and blocks the engine until p parks or exits.
-func (e *Engine) transfer(p *Proc) {
-	prev := e.current
-	e.current = p
-	p.resume <- struct{}{}
-	<-e.parked
-	e.current = prev
-}
-
-// park yields control back to the engine until a resume event targeting this
-// park generation fires.
+// park yields control until a resume event targeting this park generation
+// fires. The parking goroutine itself runs the engine's dispatch loop: if the
+// next dispatch is this process's own resume, the baton never leaves this
+// goroutine and no channel operation happens at all; otherwise the baton is
+// handed directly to the resumed process and this goroutine blocks.
 func (p *Proc) park(wakeable bool) {
 	p.parkGen++
 	p.parkedFlag = true
 	p.wakeable = wakeable
-	p.eng.parked <- struct{}{}
-	<-p.resume
+	if !p.eng.dispatch(p, false) {
+		<-p.resume
+	}
 	p.parkedFlag = false
 	p.wakeable = false
 }
 
-// resumeEventFor schedules a transfer at time t that is valid only for the
-// park generation gen.
+// resumeEventFor schedules a typed resume of p at time t that is valid only
+// for the park generation gen. No closure, no allocation in steady state:
+// the target rides in the pooled event record itself.
 func (e *Engine) resumeEventFor(p *Proc, gen uint64, t float64) {
-	e.At(t, func() {
-		if !p.done && p.parkedFlag && p.parkGen == gen {
-			e.transfer(p)
-		}
-	})
+	ev := e.schedule(t)
+	ev.proc = p
+	ev.parkGen = gen
 }
 
 // Sleep suspends the process for d seconds of virtual time. A zero sleep is
 // still a scheduling point: events already queued at the current timestamp
 // run before the process resumes.
+//
+// Lone-runner fast path: when the now-bucket is drained and every heap event
+// lies strictly after now+d, the resume event this Sleep would schedule is
+// the unique minimum of the queue — the engine would dispatch it immediately
+// and transfer straight back to this process. In that case the event and the
+// double goroutine handoff are elided, and only their observable effects are
+// replayed: one sequence number is consumed (tie-breaks downstream stay
+// identical), the processed counter advances (events/op stays comparable
+// across engine versions), and the clock moves to now+d. A pending MaxTime
+// violation falls through to the slow path so Run can surface the error.
+// No wake can target a running process (wakes on a running process only
+// latch pendingWake), so skipping the park cannot drop a resume.
 func (p *Proc) Sleep(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("des: negative sleep %g", d))
 	}
 	e := p.eng
-	e.resumeEventFor(p, p.parkGen+1, e.now+d)
+	t := e.now + d
+	if e.bucketPos == len(e.bucket) &&
+		(len(e.queue) == 0 || e.queue[0].at > t) &&
+		!(e.MaxTime > 0 && t > e.MaxTime) {
+		e.seq++
+		e.processed++
+		e.now = t
+		return
+	}
+	e.resumeEventFor(p, p.parkGen+1, t)
 	p.park(false)
 }
 
@@ -237,28 +394,37 @@ func (d *DeadlockError) Error() string {
 // Run executes events until none remain. It returns a *DeadlockError if
 // processes are still alive when the queue drains, and an error if MaxTime is
 // exceeded; otherwise nil.
+//
+// The engine has no scheduler goroutine of its own. A single "baton" moves
+// between goroutines — Run's caller, parking processes, exiting processes —
+// and whichever goroutine holds it executes the dispatch loop. Handing
+// control to a process is then one channel send (the old engine-in-the-
+// middle design paid a send plus a receive in each direction), and a process
+// whose own resume event is the next dispatch keeps the baton without
+// touching a channel at all.
 func (e *Engine) Run() error {
 	if e.running {
 		panic("des: Run called reentrantly")
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.fn == nil {
-			continue // cancelled
-		}
-		if ev.at < e.now {
-			panic("des: time went backwards")
-		}
-		e.now = ev.at
-		if e.MaxTime > 0 && e.now > e.MaxTime {
-			return fmt.Errorf("des: exceeded time horizon %g (now %g)", e.MaxTime, e.now)
-		}
-		fn := ev.fn
-		ev.fn = nil
-		e.processed++
-		fn()
+	// The simulation is strictly cooperative: exactly one goroutine is
+	// runnable at any instant, and control bounces between goroutines
+	// through unbuffered channels. Pinning to a single P for the duration
+	// keeps every handoff on the local run queue — no idle-P wakeups, no
+	// cross-P lock traffic, no spinning Ms — which is worth >10% of wall
+	// time on collective-heavy workloads. Restored on exit; a no-op when
+	// GOMAXPROCS is already 1.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	e.runErr = nil
+	if !e.dispatch(nil, true) {
+		// The baton left this goroutine; it comes back over mainWake when
+		// the queue drains. The channel receive is the synchronization
+		// edge ordering every dispatcher's writes before the reads below.
+		<-e.mainWake
+	}
+	if e.runErr != nil {
+		return e.runErr
 	}
 	if e.alive > 0 {
 		var names []string
@@ -273,40 +439,175 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// dispatch executes events on the calling goroutine until the baton moves.
+// self is the process parking on this call (nil for Run's goroutine and for
+// exiting processes); onMain marks Run's goroutine. Returns true when the
+// caller keeps the baton: a parking process whose own resume event was the
+// next dispatch, or Run's goroutine when the queue drained before any
+// handoff. In every other case the baton went to another goroutine — a
+// resumed process, or Run via mainWake at drain — and a parking caller must
+// block on its resume channel.
+func (e *Engine) dispatch(self *Proc, onMain bool) bool {
+	for {
+		ev := e.pop()
+		if ev == nil {
+			return e.finish(onMain)
+		}
+		if ev.dead() {
+			e.release(ev) // cancelled in the bucket
+			continue
+		}
+		if ev.at < e.now {
+			panic("des: time went backwards")
+		}
+		e.now = ev.at
+		if e.MaxTime > 0 && e.now > e.MaxTime {
+			e.release(ev)
+			e.runErr = fmt.Errorf("des: exceeded time horizon %g (now %g)", e.MaxTime, e.now)
+			return e.finish(onMain)
+		}
+		e.processed++
+		if p := ev.proc; p != nil {
+			gen := ev.parkGen
+			e.release(ev)
+			if !p.done && p.parkedFlag && p.parkGen == gen {
+				e.current = p
+				if p == self {
+					return true
+				}
+				p.resume <- struct{}{}
+				return false
+			}
+			continue
+		}
+		fn := ev.fn
+		e.release(ev)
+		fn()
+	}
+}
+
+// finish routes the baton back to Run's goroutine at end of dispatch. When
+// the drain happens on Run's goroutine itself it just keeps the baton; a
+// process goroutine signals mainWake (Run is guaranteed to be blocked on it:
+// it handed the baton off earlier and only finish ever returns it).
+func (e *Engine) finish(onMain bool) bool {
+	if onMain {
+		return true
+	}
+	e.mainWake <- struct{}{}
+	return false
+}
+
 // Pending returns the number of events currently scheduled. Cancelled
-// timers are removed from the queue eagerly and do not count.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// timers are removed (heap) or marked dead (bucket) eagerly and do not
+// count.
+func (e *Engine) Pending() int { return len(e.queue) + e.bucketLive }
 
 // Processed returns the number of events dispatched so far — the raw event
 // throughput measure the fabric benchmarks report as events/sec.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// eventHeap orders events by (time, sequence).
+// PoolSize returns the number of recycled event records currently in the
+// free list (observability for tests and leak hunts).
+func (e *Engine) PoolSize() int { return len(e.pool) }
+
+// eventHeap is a 4-ary min-heap ordering events by (time, sequence). It is
+// hand-rolled rather than container/heap: the comparisons inline, there are
+// no interface dispatches, and the wider fan-out halves the tree depth — the
+// heap is on the dispatch path of every strictly-future event.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess is the total dispatch order: time, ties broken by sequence.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
+
+func (h *eventHeap) push(ev *event) {
 	*h = append(*h, ev)
+	h.up(len(*h) - 1)
 }
-func (h *eventHeap) Pop() any {
+
+// popMin removes and returns the least event.
+func (h *eventHeap) popMin() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*h = old[:n-1]
-	return ev
+	min := old[0]
+	n := len(old) - 1
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		old[0] = last
+		last.idx = 0
+		h.down(0)
+	}
+	min.idx = -1
+	return min
+}
+
+// removeAt removes the event at heap position i (Timer.Cancel).
+func (h *eventHeap) removeAt(i int) {
+	old := *h
+	n := len(old) - 1
+	removed := old[i]
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		old[i] = last
+		last.idx = i
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+	removed.idx = -1
+}
+
+func (h eventHeap) up(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].idx = i
+		i = parent
+	}
+	h[i] = ev
+	ev.idx = i
+}
+
+// down sifts position i toward the leaves, reporting whether it moved.
+func (h eventHeap) down(i int) bool {
+	n := len(h)
+	ev := h[i]
+	start := i
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !eventLess(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		h[i].idx = i
+		i = m
+	}
+	h[i] = ev
+	ev.idx = i
+	return i != start
 }

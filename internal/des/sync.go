@@ -4,30 +4,35 @@ package des
 // completion callback, then parks p until that callback fires. The callback
 // may fire before start returns (zero-duration activities); Await handles
 // that via the engine's latched-wake semantics. The callback must be invoked
-// from engine context (an event or another process).
+// from engine context (an event or another process), and exactly once.
 func Await(p *Proc, start func(done func())) {
-	finished := false
-	start(func() {
-		finished = true
-		p.Wake()
-	})
-	for !finished {
-		p.Park()
-	}
+	AwaitAll(p, 1, start)
 }
 
 // AwaitAll parks p until all n completion callbacks handed to start have
 // fired. start receives a single done function that must be called exactly n
 // times (from engine context).
+//
+// The done function and its counter live on the process, not on the call: a
+// process is parked for the duration of an await, so it can never have two in
+// flight, and the steady-state await path allocates nothing.
 func AwaitAll(p *Proc, n int, start func(done func())) {
-	remaining := n
-	start(func() {
-		remaining--
-		if remaining == 0 {
-			p.Wake()
-		}
-	})
-	for remaining > 0 {
+	start(AwaitBegin(p, n))
+	AwaitEnd(p)
+}
+
+// AwaitBegin arms an await of n completions and returns the done callback to
+// hand to the asynchronous activity; the caller starts the activity itself
+// and then calls AwaitEnd. This split form exists for hot paths where the
+// start closure passed to Await/AwaitAll would be a per-call allocation.
+func AwaitBegin(p *Proc, n int) func() {
+	p.awaitRemaining = n
+	return p.awaitDone
+}
+
+// AwaitEnd parks p until every completion armed by AwaitBegin has fired.
+func AwaitEnd(p *Proc) {
+	for p.awaitRemaining > 0 {
 		p.Park()
 	}
 }

@@ -81,7 +81,7 @@ func TestAwaitSequentialActivities(t *testing.T) {
 func TestCancelTimerWhileRunning(t *testing.T) {
 	e := New()
 	fired := false
-	var tm *Timer
+	var tm Timer
 	tm = e.After(5, func() { fired = true })
 	e.After(1, func() { tm.Cancel() })
 	if err := e.Run(); err != nil {

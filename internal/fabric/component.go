@@ -21,8 +21,8 @@ type component struct {
 	flows []*Flow
 	res   []*Resource
 
-	timer   *des.Timer // completion timer for the earliest deadline
-	timerAt float64    // absolute time the timer is armed for
+	timer   des.Timer // completion timer for the earliest deadline
+	timerAt float64   // absolute time the timer is armed for
 
 	dirtyFlag bool // queued for recompute at the next sync
 	splitFlag bool // membership may have fragmented (a flow left)
@@ -119,10 +119,7 @@ func (n *Net) absorb(a, b *component) {
 	a.splitFlag = a.splitFlag || b.splitFlag
 	b.flows = nil
 	b.res = nil
-	if b.timer != nil {
-		b.timer.Cancel()
-		b.timer = nil
-	}
+	b.timer.Cancel()
 	n.removeComp(b)
 }
 
@@ -165,10 +162,7 @@ func (n *Net) destroyComponent(c *component) {
 	}
 	c.res = nil
 	c.flows = nil
-	if c.timer != nil {
-		c.timer.Cancel()
-		c.timer = nil
-	}
+	c.timer.Cancel()
 	n.removeComp(c)
 }
 

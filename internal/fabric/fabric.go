@@ -139,6 +139,21 @@ type Flow struct {
 	frozen    bool    // fill scratch
 	completed bool
 	aborted   bool
+
+	// pooled marks records created by the void-returning StartAfter entry
+	// points: no caller can retain a handle to them, so the record returns
+	// to the Net's free list at completion. installFn is built once per
+	// record lifetime and survives recycling, so steady-state flow startup
+	// allocates nothing.
+	pooled    bool
+	installFn func()
+
+	// pathBuf backs Path for StartAfterPath2 flows, so the ubiquitous
+	// two-resource copy path (read side, write side) needs no per-call
+	// slice. Only the record's own entry point writes it; externally
+	// provided paths are never copied in, so shared cached slices (e.g.
+	// the MPI layer's net paths) stay aliased, not duplicated.
+	pathBuf [2]*Resource
 }
 
 // Rate returns the flow's current allocated rate in bytes/s.
@@ -194,8 +209,12 @@ type Net struct {
 
 	mode          Mode
 	syncScheduled bool
+	syncFn        func() // the sync event body, built once in NewNet
 	stats         RecomputeStats
 	shadow        func(format string, args ...any)
+
+	flowPool []*Flow // recycled pooled records (see Flow.pooled)
+	finScr   []*Flow // onCompletionTimer scratch, reused across firings
 
 	// Overlap accounting: virtual time during which at least one flow of
 	// a class was active, and during which two classes were concurrently
@@ -212,12 +231,17 @@ type Net struct {
 
 // NewNet creates an empty fabric bound to eng.
 func NewNet(eng *des.Engine) *Net {
-	return &Net{
+	n := &Net{
 		eng:         eng,
 		classBusy:   make(map[string]float64),
 		overlapBusy: make(map[string]float64),
 		classCount:  make(map[string]int),
 	}
+	n.syncFn = func() {
+		n.syncScheduled = false
+		n.sync()
+	}
+	return n
 }
 
 // SetMode selects the recompute mode; the next sync applies it.
@@ -301,14 +325,8 @@ func (n *Net) StartClassed(class string, size, rateCap float64, path []*Resource
 }
 
 func (n *Net) start(class string, size, rateCap float64, path []*Resource, onComplete func()) *Flow {
-	if size < 0 || math.IsNaN(size) {
-		panic(fmt.Sprintf("fabric: invalid flow size %g", size))
-	}
-	if len(path) == 0 && rateCap <= 0 {
-		panic("fabric: flow needs a path or a rate cap")
-	}
+	checkFlowArgs(size, rateCap, path)
 	f := &Flow{
-		ID:         n.nextID,
 		Size:       size,
 		RateCap:    rateCap,
 		Path:       path,
@@ -317,18 +335,74 @@ func (n *Net) start(class string, size, rateCap float64, path []*Resource, onCom
 		owner:      n,
 		cidx:       -1,
 	}
+	n.install(f)
+	return f
+}
+
+func checkFlowArgs(size, rateCap float64, path []*Resource) {
+	if size < 0 || math.IsNaN(size) {
+		panic(fmt.Sprintf("fabric: invalid flow size %g", size))
+	}
+	if len(path) == 0 && rateCap <= 0 {
+		panic("fabric: flow needs a path or a rate cap")
+	}
+}
+
+// install assigns the flow its ID and puts it in service. IDs are assigned
+// here — after any StartAfter delay — so concurrent flows sort in
+// installation order regardless of which entry point created the record.
+func (n *Net) install(f *Flow) {
+	f.ID = n.nextID
 	n.nextID++
-	if size <= byteEps {
-		f.done0 = size
+	if f.Size <= byteEps {
+		f.done0 = f.Size
 		f.completed = true
-		if onComplete != nil {
-			n.eng.At(n.eng.Now(), onComplete)
+		cb := f.OnComplete
+		if f.pooled {
+			n.recycleFlow(f)
 		}
-		return f
+		if cb != nil {
+			n.eng.At(n.eng.Now(), cb)
+		}
+		return
 	}
 	n.attach(f)
 	n.requestSync()
+}
+
+// allocFlow pops a recycled record or mints a pooled one. Pooled records are
+// only reachable through the void-returning StartAfter entry points, so no
+// caller can hold a reference past completion.
+func (n *Net) allocFlow() *Flow {
+	if k := len(n.flowPool) - 1; k >= 0 {
+		f := n.flowPool[k]
+		n.flowPool[k] = nil
+		n.flowPool = n.flowPool[:k]
+		return f
+	}
+	f := &Flow{owner: n, cidx: -1, pooled: true}
+	f.installFn = func() { n.install(f) }
 	return f
+}
+
+// recycleFlow returns a pooled record to the free list, clearing references
+// so recycled flows do not pin paths or callbacks.
+func (n *Net) recycleFlow(f *Flow) {
+	f.Path = nil
+	f.pathBuf = [2]*Resource{}
+	f.Class = ""
+	f.OnComplete = nil
+	f.comp = nil
+	f.cidx = -1
+	f.done0 = 0
+	f.since = 0
+	f.rate = 0
+	f.deadline = 0
+	f.prevRate = 0
+	f.frozen = false
+	f.completed = false
+	f.aborted = false
+	n.flowPool = append(n.flowPool, f)
 }
 
 // StartAfter installs the flow after a fixed latency (e.g. a message's wire
@@ -337,13 +411,42 @@ func (n *Net) StartAfter(delay, size, rateCap float64, path []*Resource, onCompl
 	n.StartAfterClassed("", delay, size, rateCap, path, onComplete)
 }
 
-// StartAfterClassed is StartAfter with a traffic-class label.
+// StartAfterClassed is StartAfter with a traffic-class label. Unlike Start,
+// it does not return the flow — which is what lets it recycle the record
+// (and its delayed-install closure) through the Net's free list.
 func (n *Net) StartAfterClassed(class string, delay, size, rateCap float64, path []*Resource, onComplete func()) {
+	checkFlowArgs(size, rateCap, path)
+	f := n.allocFlow()
+	f.Size = size
+	f.RateCap = rateCap
+	f.Path = path
+	f.Class = class
+	f.OnComplete = onComplete
 	if delay <= 0 {
-		n.StartClassed(class, size, rateCap, path, onComplete)
+		n.install(f)
 		return
 	}
-	n.eng.After(delay, func() { n.StartClassed(class, size, rateCap, path, onComplete) })
+	n.eng.After(delay, f.installFn)
+}
+
+// StartAfterPath2 is StartAfterClassed specialized to the two-resource path
+// every intra-node copy reduces to (a read side and a write side). The pooled
+// record's own backing array holds the pair, so starting such a flow
+// allocates nothing in steady state.
+func (n *Net) StartAfterPath2(class string, delay, size, rateCap float64, r1, r2 *Resource, onComplete func()) {
+	f := n.allocFlow()
+	f.pathBuf[0], f.pathBuf[1] = r1, r2
+	f.Size = size
+	f.RateCap = rateCap
+	f.Path = f.pathBuf[:2]
+	f.Class = class
+	f.OnComplete = onComplete
+	checkFlowArgs(size, rateCap, f.Path)
+	if delay <= 0 {
+		n.install(f)
+		return
+	}
+	n.eng.After(delay, f.installFn)
 }
 
 // Abort removes an in-flight flow without firing OnComplete.
@@ -395,10 +498,7 @@ func (n *Net) requestSync() {
 		return
 	}
 	n.syncScheduled = true
-	n.eng.At(n.eng.Now(), func() {
-		n.syncScheduled = false
-		n.sync()
-	})
+	n.eng.At(n.eng.Now(), n.syncFn)
 }
 
 // sync recomputes every dirty component (all of them in ModeGlobal), then
@@ -430,15 +530,16 @@ func (n *Net) sync() {
 // onCompletionTimer handles the completion timer of one component: flows
 // whose deadline has arrived complete now.
 func (n *Net) onCompletionTimer(c *component) {
-	c.timer = nil
+	c.timer = des.Timer{} // fired: drop the stale handle
 	now := n.eng.Now()
-	var finished []*Flow
+	finished := n.finScr[:0]
 	for _, f := range c.flows {
 		if f.deadline <= now {
 			finished = append(finished, f)
 		}
 	}
 	if len(finished) == 0 {
+		n.finScr = finished
 		// Defensive: the timer fires at the minimum deadline, so some
 		// flow must qualify; re-arm rather than stall if not.
 		n.scheduleCompletion(c)
@@ -453,11 +554,20 @@ func (n *Net) onCompletionTimer(c *component) {
 		f.completed = true
 	}
 	n.stats.Completions += uint64(len(finished))
-	for _, f := range finished {
-		if f.OnComplete != nil {
-			f.OnComplete()
+	// Recycle before firing the callback: a callback that starts a new
+	// pooled flow may reuse this very record, which is safe because the
+	// flow is already detached and its callback extracted.
+	for i, f := range finished {
+		cb := f.OnComplete
+		if f.pooled {
+			n.recycleFlow(f)
+		}
+		finished[i] = nil
+		if cb != nil {
+			cb()
 		}
 	}
+	n.finScr = finished[:0]
 	n.requestSync()
 }
 
@@ -477,18 +587,13 @@ func (n *Net) scheduleCompletion(c *component) {
 		if len(c.flows) > 0 {
 			panic("fabric: active flows but no positive rates; simulation would stall")
 		}
-		if c.timer != nil {
-			c.timer.Cancel()
-			c.timer = nil
-		}
-		return
-	}
-	if c.timer != nil && !c.timer.Stopped() && c.timerAt == next {
-		return
-	}
-	if c.timer != nil {
 		c.timer.Cancel()
+		return
 	}
+	if !c.timer.Stopped() && c.timerAt == next {
+		return
+	}
+	c.timer.Cancel()
 	if now := n.eng.Now(); next < now {
 		next = now
 	}

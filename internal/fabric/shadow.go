@@ -55,7 +55,7 @@ func (n *Net) runShadow() {
 				return
 			}
 		}
-		if c.timer == nil || c.timer.Stopped() {
+		if c.timer.Stopped() {
 			n.shadow("component %d has flows but no armed completion timer", c.id)
 			return
 		}

@@ -173,11 +173,17 @@ func FuzzMatch(f *testing.F) {
 		}
 		for rank := 0; rank < fuzzNP; rank++ {
 			p := w.Proc(rank)
-			if len(p.posted) != 0 {
-				t.Fatalf("rank %d: %d posted receives leaked", rank, len(p.posted))
+			if p.posted.count != 0 {
+				t.Fatalf("rank %d: %d posted receives leaked", rank, p.posted.count)
 			}
-			if len(p.unexpected) != 0 {
-				t.Fatalf("rank %d: %d unexpected messages leaked", rank, len(p.unexpected))
+			if len(p.posted.wild) != 0 {
+				t.Fatalf("rank %d: %d wildcard postings leaked", rank, len(p.posted.wild))
+			}
+			if p.unexpected.count != 0 {
+				t.Fatalf("rank %d: %d unexpected messages leaked", rank, p.unexpected.count)
+			}
+			if p.unexpected.head != nil || p.unexpected.tail != nil {
+				t.Fatalf("rank %d: unexpected arrival list retains entries after drain", rank)
 			}
 		}
 

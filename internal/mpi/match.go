@@ -1,0 +1,205 @@
+package mpi
+
+// Indexed p2p matching. MPI matching semantics are posting-order FIFO: an
+// arriving envelope matches the OLDEST posted receive it satisfies, and a
+// posted receive matches the OLDEST unexpected envelope it satisfies. The
+// seed implementation kept one flat slice per side and scanned it linearly,
+// which is quadratic under fan-in (hundreds of senders targeting one rank).
+//
+// Both sides are now indexed by the fully-specific matching key
+// (ctx, src, tag):
+//
+//   - posted receives live in a per-key FIFO when fully specific, plus a
+//     posting-order wildcard list for receives using AnySource/AnyTag. An
+//     envelope (always concrete) can match at most one specific key, so
+//     matching compares the head of that key's FIFO with the first matching
+//     wildcard and takes the older posting — exact posting order at O(1) +
+//     O(wildcards).
+//
+//   - unexpected envelopes live in a per-key FIFO plus an intrusive
+//     arrival-order list threaded through the envelopes themselves. A fully
+//     specific receive pops its key FIFO in O(1); a wildcard receive walks
+//     the arrival list, and the envelope it finds is by construction also
+//     the head of its key FIFO, so both structures stay consistent without
+//     lazy deletion.
+//
+// Determinism: the index maps are only ever accessed by key — dispatch
+// order never depends on map iteration order. hierlint's determinism
+// analyzer enforces this (it flags any range over a matchKey-keyed map).
+
+// matchKey identifies one fully-specific matching class.
+type matchKey struct{ ctx, src, tag int }
+
+// fifo is a slice-backed FIFO that nils vacated slots as it pops (no stale
+// tail pointers retaining matched envelopes or postings) and reuses its
+// backing array once drained. Drained FIFOs stay in the index maps — keys
+// recur (the same (peer, tag) classes are matched over and over in
+// collectives), and retaining the empty queue makes the steady state
+// allocation-free. Retention is bounded by the number of distinct keys ever
+// matched.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+
+func (q *fifo[T]) pop() T {
+	var zero T
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
+func (q *fifo[T]) peek() (T, bool) {
+	if q.head == len(q.items) {
+		var zero T
+		return zero, false
+	}
+	return q.items[q.head], true
+}
+
+func (q *fifo[T]) len() int { return len(q.items) - q.head }
+
+// postIndex holds one rank's posted receives awaiting a match.
+type postIndex struct {
+	specific map[matchKey]*fifo[*posting] // fully-specific receives, FIFO per key
+	wild     []*posting                   // receives with AnySource and/or AnyTag, posting order
+	nextSeq  uint64                       // global posting order, compared across the two tiers
+	count    int
+}
+
+func (ix *postIndex) add(po *posting) {
+	po.seq = ix.nextSeq
+	ix.nextSeq++
+	ix.count++
+	if po.srcWorld == AnySource || po.tag == AnyTag {
+		ix.wild = append(ix.wild, po)
+		return
+	}
+	key := matchKey{po.ctx, po.srcWorld, po.tag}
+	if ix.specific == nil {
+		ix.specific = make(map[matchKey]*fifo[*posting])
+	}
+	q := ix.specific[key]
+	if q == nil {
+		q = &fifo[*posting]{}
+		ix.specific[key] = q
+	}
+	q.push(po)
+}
+
+// match removes and returns the oldest posted receive env satisfies, or nil.
+func (ix *postIndex) match(env *envelope) *posting {
+	var sp *posting
+	var q *fifo[*posting]
+	key := matchKey{env.ctx, env.srcWorld, env.tag}
+	if qq := ix.specific[key]; qq != nil {
+		if head, ok := qq.peek(); ok {
+			sp, q = head, qq
+		}
+	}
+	wi := -1
+	for i, po := range ix.wild {
+		if env.matches(po) {
+			wi = i
+			break
+		}
+	}
+	switch {
+	case sp == nil && wi < 0:
+		return nil
+	case sp != nil && (wi < 0 || sp.seq < ix.wild[wi].seq):
+		q.pop()
+		ix.count--
+		return sp
+	default:
+		po := ix.wild[wi]
+		copy(ix.wild[wi:], ix.wild[wi+1:])
+		ix.wild[len(ix.wild)-1] = nil // no stale tail pointer
+		ix.wild = ix.wild[:len(ix.wild)-1]
+		ix.count--
+		return po
+	}
+}
+
+// envIndex holds one rank's unexpected envelopes (arrived or announced
+// before a matching receive was posted).
+type envIndex struct {
+	specific   map[matchKey]*fifo[*envelope] // FIFO per key
+	head, tail *envelope                     // intrusive arrival-order list
+	count      int
+}
+
+func (ix *envIndex) add(env *envelope) {
+	key := matchKey{env.ctx, env.srcWorld, env.tag}
+	if ix.specific == nil {
+		ix.specific = make(map[matchKey]*fifo[*envelope])
+	}
+	q := ix.specific[key]
+	if q == nil {
+		q = &fifo[*envelope]{}
+		ix.specific[key] = q
+	}
+	q.push(env)
+	env.prev = ix.tail
+	env.next = nil
+	if ix.tail != nil {
+		ix.tail.next = env
+	} else {
+		ix.head = env
+	}
+	ix.tail = env
+	ix.count++
+}
+
+// match removes and returns the oldest unexpected envelope po satisfies, or
+// nil.
+func (ix *envIndex) match(po *posting) *envelope {
+	if po.srcWorld != AnySource && po.tag != AnyTag {
+		key := matchKey{po.ctx, po.srcWorld, po.tag}
+		q := ix.specific[key]
+		if q == nil {
+			return nil
+		}
+		env, ok := q.peek()
+		if !ok {
+			return nil
+		}
+		ix.remove(env, q)
+		return env
+	}
+	for env := ix.head; env != nil; env = env.next {
+		if env.matches(po) {
+			q := ix.specific[matchKey{env.ctx, env.srcWorld, env.tag}]
+			if head, ok := q.peek(); !ok || head != env {
+				panic("mpi: matching index out of sync: arrival-list envelope is not its key FIFO head")
+			}
+			ix.remove(env, q)
+			return env
+		}
+	}
+	return nil
+}
+
+// remove unlinks env — the head of its key FIFO — from both structures.
+func (ix *envIndex) remove(env *envelope, q *fifo[*envelope]) {
+	q.pop()
+	if env.prev != nil {
+		env.prev.next = env.next
+	} else {
+		ix.head = env.next
+	}
+	if env.next != nil {
+		env.next.prev = env.prev
+	} else {
+		ix.tail = env.prev
+	}
+	env.prev, env.next = nil, nil
+	ix.count--
+}

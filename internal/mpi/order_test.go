@@ -1,0 +1,200 @@
+package mpi
+
+import (
+	"testing"
+
+	"hierknem/internal/buffer"
+)
+
+// These tables pin the MPI matching-order semantics the indexed queues must
+// preserve: among all satisfying candidates, the OLDEST posting (for an
+// arriving send) or the OLDEST arrival (for a new receive) wins — regardless
+// of whether the candidate sits in a specific per-(ctx,src,tag) queue or on
+// the wildcard list. Every case uses equal-size eager messages so a wildcard
+// may legally match any send, and payload bytes identify which send landed
+// in which posting.
+
+// orderRecv is one posted receive: src/tag may be AnySource/AnyTag.
+type orderRecv struct {
+	src, tag int
+}
+
+// orderSend is one send issued by rank `from`, in table order.
+type orderSend struct {
+	from, tag int
+}
+
+const orderMsgSize = 64 // eager everywhere; all sends the same size
+
+func orderPayload(id int) []byte {
+	d := make([]byte, orderMsgSize)
+	for i := range d {
+		d[i] = byte(id)
+	}
+	return d
+}
+
+// runOrderCase executes the scenario on a fresh fuzz world. When preposted
+// is true rank 0 posts all receives before any send is issued; otherwise
+// every send is parked in the unexpected queue before the first post.
+// want[i] is the send index whose payload posting i must receive.
+func runOrderCase(t *testing.T, preposted bool, recvs []orderRecv, sends []orderSend, want []int) {
+	t.Helper()
+	if len(want) != len(recvs) {
+		t.Fatalf("bad table: %d recvs but %d expectations", len(recvs), len(want))
+	}
+	w := fuzzWorld(t)
+	bufs := make([]*buffer.Buffer, len(recvs))
+	err := w.Run(func(p *Proc) {
+		c := w.WorldComm()
+		me := c.Rank(p)
+		post := func() {
+			reqs := make([]*Request, len(recvs))
+			for i, r := range recvs {
+				bufs[i] = buffer.NewReal(make([]byte, orderMsgSize))
+				reqs[i] = p.Irecv(c, bufs[i], r.src, r.tag)
+			}
+			p.WaitAll(reqs...)
+		}
+		send := func() {
+			// Sends stagger by table order so multi-sender arrival order
+			// is fixed by the table, not by scheduler happenstance.
+			for k, s := range sends {
+				if s.from != me {
+					continue
+				}
+				p.Compute(float64(k) * 1e-6)
+				p.Send(c, buffer.NewReal(orderPayload(k)), 0, s.tag)
+			}
+		}
+		if preposted {
+			if me == 0 {
+				post()
+			} else {
+				p.Compute(1e-3) // receives are in place before any send
+				send()
+			}
+		} else {
+			if me == 0 {
+				p.Compute(1e-3) // every send arrives unexpected
+				post()
+			} else {
+				send()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range want {
+		got := bufs[i].Data()[0]
+		if got != byte(k) {
+			t.Errorf("posting %d received payload %d, want send %d", i, got, k)
+		}
+	}
+}
+
+func TestMatchingOrder(t *testing.T) {
+	cases := []struct {
+		name  string
+		recvs []orderRecv
+		sends []orderSend
+		want  []int
+	}{
+		{
+			// The specific posting is older: an arriving send it satisfies
+			// must pick it over the younger wildcard.
+			name:  "specific_before_wildcard",
+			recvs: []orderRecv{{1, 5}, {AnySource, AnyTag}},
+			sends: []orderSend{{1, 5}, {1, 9}},
+			want:  []int{0, 1},
+		},
+		{
+			// The wildcard is older: it wins even though a specific posting
+			// for exactly (src,tag) exists.
+			name:  "wildcard_before_specific",
+			recvs: []orderRecv{{AnySource, AnyTag}, {1, 5}},
+			sends: []orderSend{{1, 5}, {1, 5}},
+			want:  []int{0, 1},
+		},
+		{
+			// Two wildcards drain sends in posting order.
+			name:  "wildcards_fifo",
+			recvs: []orderRecv{{AnySource, AnyTag}, {AnySource, AnyTag}},
+			sends: []orderSend{{1, 3}, {1, 7}},
+			want:  []int{0, 1},
+		},
+		{
+			// Half-wild postings (AnySource with a tag, a source with
+			// AnyTag) live on the wildcard list too; seniority still
+			// decides against a fully specific posting.
+			name:  "half_wild_seniority",
+			recvs: []orderRecv{{AnySource, 5}, {1, AnyTag}, {1, 5}},
+			sends: []orderSend{{1, 5}, {1, 5}, {1, 5}},
+			want:  []int{0, 1, 2},
+		},
+		{
+			// Specific postings for distinct tags are independent queues;
+			// sends route by tag, not posting order.
+			name:  "specific_queues_independent",
+			recvs: []orderRecv{{1, 7}, {1, 3}},
+			sends: []orderSend{{1, 3}, {1, 7}},
+			want:  []int{1, 0},
+		},
+		{
+			// AnySource race: two senders staggered in time; each wildcard
+			// takes the oldest arrival.
+			name:  "anysource_race",
+			recvs: []orderRecv{{AnySource, AnyTag}, {AnySource, AnyTag}},
+			sends: []orderSend{{1, 0}, {2, 1}},
+			want:  []int{0, 1},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name+"/preposted", func(t *testing.T) {
+			runOrderCase(t, true, tc.recvs, tc.sends, tc.want)
+		})
+	}
+
+	// The unexpected-queue mirror: sends arrive first, postings then drain
+	// the arrival-ordered queue. A wildcard posting takes the oldest
+	// arrival; a specific posting takes the oldest arrival of its key.
+	unexpected := []struct {
+		name  string
+		recvs []orderRecv
+		sends []orderSend
+		want  []int
+	}{
+		{
+			name:  "wildcard_takes_oldest_arrival",
+			recvs: []orderRecv{{AnySource, AnyTag}, {AnySource, AnyTag}},
+			sends: []orderSend{{1, 4}, {1, 6}},
+			want:  []int{0, 1},
+		},
+		{
+			name:  "specific_skips_other_keys",
+			recvs: []orderRecv{{1, 6}, {1, 4}},
+			sends: []orderSend{{1, 4}, {1, 6}},
+			want:  []int{1, 0},
+		},
+		{
+			name:  "wildcard_then_specific_drain",
+			recvs: []orderRecv{{AnySource, AnyTag}, {1, 4}},
+			sends: []orderSend{{1, 4}, {1, 4}},
+			want:  []int{0, 1},
+		},
+		{
+			name:  "anysource_arrival_race",
+			recvs: []orderRecv{{AnySource, AnyTag}, {AnySource, AnyTag}},
+			sends: []orderSend{{1, 0}, {2, 0}},
+			want:  []int{0, 1},
+		},
+	}
+	for _, tc := range unexpected {
+		tc := tc
+		t.Run(tc.name+"/unexpected", func(t *testing.T) {
+			runOrderCase(t, false, tc.recvs, tc.sends, tc.want)
+		})
+	}
+}

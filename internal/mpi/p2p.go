@@ -15,14 +15,27 @@ const (
 	AnyTag    = -1
 )
 
-// Request tracks a pending non-blocking operation.
+// Request tracks a pending non-blocking operation. A Request is single-use:
+// it must not be waited on or read after Wait has returned for it (the
+// containing record is recycled).
 type Request struct {
-	done    bool
+	done bool
+	// waiter is the single inline waiter slot — almost every request is
+	// waited on by exactly one process, and the inline slot keeps that
+	// common case allocation-free. waiters is the overflow.
+	waiter  *des.Proc
 	waiters []*des.Proc
 	// overhead is per-message protocol CPU charged to the waiter once,
 	// when it collects the completed request (LogGP's receiver "o").
 	overhead float64
+	// owner is the pooled record (envelope or posting) this request is
+	// embedded in. Wait drops the caller's reference through it once the
+	// completion has been collected.
+	owner releaser
 }
+
+// releaser is a pooled record that counts outstanding references.
+type releaser interface{ release() }
 
 // Done reports completion (for Test-style polling).
 func (r *Request) Done() bool { return r.done }
@@ -32,6 +45,10 @@ func (r *Request) complete() {
 		return
 	}
 	r.done = true
+	if r.waiter != nil {
+		r.waiter.Wake()
+		r.waiter = nil
+	}
 	for _, w := range r.waiters {
 		w.Wake()
 	}
@@ -39,16 +56,31 @@ func (r *Request) complete() {
 }
 
 // Wait blocks until the request completes, then absorbs any per-message
-// protocol CPU attached to it.
+// protocol CPU attached to it. The waiter registers once: a spurious wake
+// (a latched Wake for some other request) must not append a duplicate
+// entry, which would both leak memory and issue redundant wakes on
+// completion.
 func (p *Proc) Wait(r *Request) {
+	registered := false
 	for !r.done {
-		r.waiters = append(r.waiters, p.dp)
+		if !registered {
+			if r.waiter == nil {
+				r.waiter = p.dp
+			} else {
+				r.waiters = append(r.waiters, p.dp)
+			}
+			registered = true
+		}
 		p.dp.Park()
 	}
 	if r.overhead > 0 {
 		o := r.overhead
 		r.overhead = 0
 		p.dp.Sleep(o)
+	}
+	if o := r.owner; o != nil {
+		r.owner = nil
+		o.release()
 	}
 }
 
@@ -62,27 +94,103 @@ func (p *Proc) WaitAll(rs ...*Request) {
 }
 
 // envelope is a message announced to (or arrived at) the destination.
+// Envelopes are refcounted and recycled through the sender's free list: one
+// reference belongs to the *Request handed to the caller (dropped when Wait
+// collects it), one to the transfer protocol (dropped by finishTransfer),
+// and a transient one to an in-flight eager arrival marker.
 type envelope struct {
 	srcWorld  int
 	tag       int
 	ctx       int
-	buf       *buffer.Buffer // sender's payload view
+	bufv      buffer.Buffer // sender's payload view (header copy; data shared)
 	size      int64
 	eager     bool
 	arrived   bool // eager inter-node payload landed before a recv was posted
 	preposted bool // the receive was already posted when the send started
-	sendReq   *Request
+	sendReq   Request // embedded: no per-message Request allocation
 	sender    *Proc
+	po        *posting // matched receive, set for the duration of the transfer
+
+	refs     int32  // outstanding references; at 0 the record recycles
+	finishFn func() // cached across reuses: finishTransfer(env)
+	arriveFn func() // cached across reuses: eager arrival marker
+
+	// intrusive links in the destination's unexpected arrival-order list
+	// (see envIndex).
+	prev, next *envelope
 }
 
-// posting is a posted receive awaiting a match.
+func (env *envelope) release() {
+	if env.refs--; env.refs > 0 {
+		return
+	}
+	// sendReq.done is deliberately left set (callers may poll Done after
+	// WaitAll); allocEnv resets the request on reuse.
+	env.bufv = buffer.Buffer{}
+	env.po = nil
+	env.prev, env.next = nil, nil
+	p := env.sender
+	p.envPool = append(p.envPool, env)
+}
+
+// allocEnv pops a recycled envelope or mints one. The finish and arrival
+// closures are built once per record lifetime, so steady-state messaging
+// between established partners allocates only the envelope itself — and not
+// even that once the pool is warm.
+func (p *Proc) allocEnv() *envelope {
+	var env *envelope
+	if k := len(p.envPool) - 1; k >= 0 {
+		env = p.envPool[k]
+		p.envPool[k] = nil
+		p.envPool = p.envPool[:k]
+		env.sendReq = Request{owner: env}
+		env.arrived = false
+		env.preposted = false
+	} else {
+		env = &envelope{sender: p}
+		env.sendReq.owner = env
+		env.finishFn = func() { p.world.finishTransfer(env) }
+		env.arriveFn = func() { env.arrived = true; env.release() }
+	}
+	env.refs = 2 // the caller's *Request + the transfer's finish
+	return env
+}
+
+// posting is a posted receive awaiting a match. Postings are refcounted and
+// recycled through the receiver's free list, like envelopes.
 type posting struct {
 	srcWorld int // world rank or AnySource
 	tag      int
 	ctx      int
-	buf      *buffer.Buffer
-	req      *Request
+	bufv     buffer.Buffer // header copy; data shared with the caller's buffer
+	req      Request       // embedded: no per-posting Request allocation
 	receiver *Proc
+	seq      uint64 // posting order within the receiver (see postIndex)
+	refs     int32  // outstanding references; at 0 the record recycles
+}
+
+func (po *posting) release() {
+	if po.refs--; po.refs > 0 {
+		return
+	}
+	po.bufv = buffer.Buffer{}
+	p := po.receiver
+	p.poPool = append(p.poPool, po)
+}
+
+func (p *Proc) allocPosting() *posting {
+	var po *posting
+	if k := len(p.poPool) - 1; k >= 0 {
+		po = p.poPool[k]
+		p.poPool[k] = nil
+		p.poPool = p.poPool[:k]
+		po.req = Request{owner: po}
+	} else {
+		po = &posting{receiver: p}
+		po.req.owner = po
+	}
+	po.refs = 2 // the caller's *Request + the transfer's finish
+	return po
 }
 
 func (env *envelope) matches(po *posting) bool {
@@ -95,15 +203,12 @@ func (env *envelope) matches(po *posting) bool {
 func (p *Proc) Isend(c *Comm, buf *buffer.Buffer, dst, tag int) *Request {
 	dstWorld := c.WorldRank(dst)
 	target := p.world.procs[dstWorld]
-	env := &envelope{
-		srcWorld: p.rank,
-		tag:      tag,
-		ctx:      c.ctx,
-		buf:      buf,
-		size:     buf.Len(),
-		sendReq:  &Request{},
-		sender:   p,
-	}
+	env := p.allocEnv()
+	env.srcWorld = p.rank
+	env.tag = tag
+	env.ctx = c.ctx
+	env.bufv = *buf
+	env.size = buf.Len()
 	env.eager = env.size < p.world.Conf.EagerThreshold
 
 	interNode := p.core.NodeID != target.core.NodeID
@@ -121,12 +226,12 @@ func (p *Proc) Isend(c *Comm, buf *buffer.Buffer, dst, tag int) *Request {
 	if env.eager {
 		if !interNode {
 			// copy-in to the shared segment by the sender core.
-			p.shmCopy(p.core, p.core.Socket, p.core.Socket, env.size, env.buf.ID())
+			p.shmCopy(p.core, p.core.Socket, p.core.Socket, env.size, env.bufv.ID())
 		}
 		env.sendReq.complete() // buffered: sender is free
 	}
 
-	if po := target.matchPosting(env); po != nil {
+	if po := target.posted.match(env); po != nil {
 		// The receive was preposted: a rendezvous can start immediately
 		// (the RTS finds a waiting match), so no handshake round trip.
 		env.preposted = true
@@ -134,12 +239,15 @@ func (p *Proc) Isend(c *Comm, buf *buffer.Buffer, dst, tag int) *Request {
 	} else {
 		if env.eager && interNode {
 			// The payload crosses the wire immediately; mark arrival so a
-			// late receive only pays the unload, not the flight.
-			p.world.eagerFlight(env, target, func() { env.arrived = true })
+			// late receive only pays the unload, not the flight. The marker
+			// holds its own reference: it may fire after the transfer is
+			// done and must not touch a recycled record.
+			env.refs++
+			p.world.eagerFlight(env, target, env.arriveFn)
 		}
-		target.unexpected = append(target.unexpected, env)
+		target.unexpected.add(env)
 	}
-	return env.sendReq
+	return &env.sendReq
 }
 
 // Send is the blocking form of Isend.
@@ -154,13 +262,17 @@ func (p *Proc) Irecv(c *Comm, buf *buffer.Buffer, src, tag int) *Request {
 	if src != AnySource {
 		srcWorld = c.WorldRank(src)
 	}
-	po := &posting{srcWorld: srcWorld, tag: tag, ctx: c.ctx, buf: buf, req: &Request{}, receiver: p}
-	if env := p.matchUnexpected(po); env != nil {
+	po := p.allocPosting()
+	po.srcWorld = srcWorld
+	po.tag = tag
+	po.ctx = c.ctx
+	po.bufv = *buf
+	if env := p.unexpected.match(po); env != nil {
 		p.world.startTransfer(env, po)
 	} else {
-		p.posted = append(p.posted, po)
+		p.posted.add(po)
 	}
-	return po.req
+	return &po.req
 }
 
 // Recv is the blocking form of Irecv.
@@ -175,26 +287,6 @@ func (p *Proc) SendRecv(c *Comm, sendBuf *buffer.Buffer, dst, sendTag int, recvB
 	s := p.Isend(c, sendBuf, dst, sendTag)
 	p.Wait(r)
 	p.Wait(s)
-}
-
-func (p *Proc) matchPosting(env *envelope) *posting {
-	for i, po := range p.posted {
-		if env.matches(po) {
-			p.posted = append(p.posted[:i], p.posted[i+1:]...)
-			return po
-		}
-	}
-	return nil
-}
-
-func (p *Proc) matchUnexpected(po *posting) *envelope {
-	for i, env := range p.unexpected {
-		if env.matches(po) {
-			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
-			return env
-		}
-	}
-	return nil
 }
 
 // smallCopyCutoff is the size below which intra-node copies bypass the
@@ -217,28 +309,23 @@ func (p *Proc) shmCopy(core *topology.Core, srcSock, dstSock *topology.Socket, n
 		p.dp.Sleep(spec.ShmLatency + float64(n)/rate)
 		return
 	}
-	path := []*fabric.Resource{srcRes, dstSock.MemBus}
-	des.Await(p.dp, func(done func()) {
-		p.world.Machine.Fab.StartAfterClassed("copy", spec.ShmLatency, float64(n), rate, path, done)
-	})
+	done := des.AwaitBegin(p.dp, 1)
+	p.world.Machine.Fab.StartAfterPath2("copy", spec.ShmLatency, float64(n), rate, srcRes, dstSock.MemBus, done)
+	des.AwaitEnd(p.dp)
 }
 
 // startTransfer moves the payload for a matched (envelope, posting) pair and
 // completes the requests. Runs in engine context.
 func (w *World) startTransfer(env *envelope, po *posting) {
-	if env.size != po.buf.Len() {
+	if env.size != po.bufv.Len() {
 		panic(fmt.Sprintf("mpi: send size %d != recv size %d (src %d tag %d)",
-			env.size, po.buf.Len(), env.srcWorld, env.tag))
+			env.size, po.bufv.Len(), env.srcWorld, env.tag))
 	}
+	env.po = po
 	src := env.sender.core
 	dst := po.receiver.core
 	spec := &w.Machine.Spec
-	finish := func() {
-		po.buf.CopyFrom(env.buf)
-		dst.Socket.Touch(po.buf.ID(), po.buf.Len())
-		env.sendReq.complete()
-		po.req.complete()
-	}
+	finish := env.finishFn
 
 	if src.NodeID == dst.NodeID {
 		if env.eager {
@@ -251,14 +338,14 @@ func (w *World) startTransfer(env *envelope, po *posting) {
 				w.Machine.Eng.After(spec.ShmLatency+float64(env.size)/rate, finish)
 				return
 			}
-			path := []*fabric.Resource{src.Socket.MemBus, dst.Socket.MemBus}
-			w.Machine.Fab.StartAfterClassed("copy", spec.ShmLatency, float64(env.size), rate, path, finish)
+			w.Machine.Fab.StartAfterPath2("copy", spec.ShmLatency, float64(env.size), rate,
+				src.Socket.MemBus, dst.Socket.MemBus, finish)
 			return
 		}
 		// KNEM LMT single copy, executed by the receiver core.
-		srcRes, rate := src.Socket.ReadSide(spec, env.buf.ID(), env.size, src.Socket == dst.Socket)
-		path := []*fabric.Resource{srcRes, dst.Socket.MemBus}
-		w.Machine.Fab.StartAfterClassed("copy", spec.ShmLatency, float64(env.size), rate, path, finish)
+		srcRes, rate := src.Socket.ReadSide(spec, env.bufv.ID(), env.size, src.Socket == dst.Socket)
+		w.Machine.Fab.StartAfterPath2("copy", spec.ShmLatency, float64(env.size), rate,
+			srcRes, dst.Socket.MemBus, finish)
 		return
 	}
 
@@ -283,6 +370,18 @@ func (w *World) startTransfer(env *envelope, po *posting) {
 	w.Machine.Fab.StartAfterClassed("net", delay, float64(env.size), 0, w.netPath(env.sender, po.receiver), finish)
 }
 
+// finishTransfer delivers a matched transfer's payload, completes both
+// requests, and drops the protocol references so the records can recycle.
+func (w *World) finishTransfer(env *envelope) {
+	po := env.po
+	po.bufv.CopyFrom(&env.bufv)
+	po.receiver.core.Socket.Touch(po.bufv.ID(), po.bufv.Len())
+	env.sendReq.complete()
+	po.req.complete()
+	po.release()
+	env.release()
+}
+
 // eagerFlight launches the wire transfer of an eager inter-node message.
 func (w *World) eagerFlight(env *envelope, target *Proc, onArrive func()) {
 	spec := &w.Machine.Spec
@@ -292,8 +391,22 @@ func (w *World) eagerFlight(env *envelope, target *Proc, onArrive func()) {
 
 // netPath is the resource chain of an inter-node transfer: source memory
 // bus, source NIC TX, optional backplane, destination NIC RX, destination
-// memory bus.
+// memory bus. Every resource on it is a property of the endpoints' sockets
+// (the bus) and nodes (the NICs), so paths are cached per (source socket,
+// destination socket) pair — O(sockets²) entries where a rank-pair key
+// would hold O(ranks²). The fabric only reads Flow.Path, so concurrent
+// flows can share one slice, and steady-state messaging allocates no path.
 func (w *World) netPath(src, dst *Proc) []*fabric.Resource {
+	// Flat integer keys hit the runtime's fast map path, where a struct
+	// key would go through generic key hashing.
+	ss, ds := src.core.Socket, dst.core.Socket
+	perNode := uint64(len(w.Machine.Nodes[0].Sockets))
+	nsock := uint64(len(w.Machine.Nodes)) * perNode
+	key := (uint64(ss.NodeID)*perNode+uint64(ss.ID))*nsock +
+		uint64(ds.NodeID)*perNode + uint64(ds.ID)
+	if path, ok := w.netPaths[key]; ok {
+		return path
+	}
 	sn := w.Machine.Nodes[src.core.NodeID]
 	dn := w.Machine.Nodes[dst.core.NodeID]
 	path := []*fabric.Resource{src.core.Socket.MemBus, sn.NicTx}
@@ -301,5 +414,9 @@ func (w *World) netPath(src, dst *Proc) []*fabric.Resource {
 		path = append(path, w.Machine.Backplane)
 	}
 	path = append(path, dn.NicRx, dst.core.Socket.MemBus)
+	if w.netPaths == nil {
+		w.netPaths = make(map[uint64][]*fabric.Resource)
+	}
+	w.netPaths[key] = path
 	return path
 }

@@ -75,6 +75,7 @@ type World struct {
 	procs     []*Proc
 	nextCtx   int
 	worldComm *Comm
+	netPaths  map[uint64][]*fabric.Resource // shared read-only inter-node paths, keyed src*np+dst
 
 	// BytesCross counts payload bytes sent over inter-node links, a
 	// cheap cross-check for algorithm traffic volume.
@@ -86,11 +87,15 @@ type World struct {
 type Proc struct {
 	world *World
 	rank  int
+	name  string // des process name, built once (Run may be called repeatedly)
 	core  *topology.Core
 	dp    *des.Proc
 
-	posted     []*posting // posted receives, FIFO
-	unexpected []*envelope
+	posted     postIndex // posted receives, indexed, posting order preserved
+	unexpected envIndex  // unexpected envelopes, indexed, arrival order preserved
+
+	envPool []*envelope // recycled send records (see envelope.refs)
+	poPool  []*posting  // recycled receive records (see posting.refs)
 }
 
 // NewWorld creates a world over machine m with np = binding.NP() ranks.
@@ -106,7 +111,7 @@ func NewWorld(m *topology.Machine, b *topology.Binding, conf Config) (*World, er
 	}
 	w.procs = make([]*Proc, b.NP())
 	for r := range w.procs {
-		w.procs[r] = &Proc{world: w, rank: r, core: b.Core(m, r)}
+		w.procs[r] = &Proc{world: w, rank: r, name: fmt.Sprintf("rank%d", r), core: b.Core(m, r)}
 	}
 	return w, nil
 }
@@ -117,7 +122,7 @@ func NewWorld(m *topology.Machine, b *topology.Binding, conf Config) (*World, er
 func (w *World) Run(body func(p *Proc)) error {
 	for _, p := range w.procs {
 		p := p
-		p.dp = w.Machine.Eng.Spawn(fmt.Sprintf("rank%d", p.rank), func(dp *des.Proc) {
+		p.dp = w.Machine.Eng.Spawn(p.name, func(dp *des.Proc) {
 			body(p)
 		})
 	}
@@ -163,7 +168,7 @@ func (p *Proc) ReduceLocal(op buffer.Op, dtype buffer.Datatype, dst, src *buffer
 		bus := p.core.Socket.MemBus
 		path := []*fabric.Resource{bus, bus, bus}
 		des.Await(p.dp, func(done func()) {
-			p.world.Machine.Fab.StartClassed("compute", float64(n), p.world.Conf.ReduceBandwidth, path, done)
+			p.world.Machine.Fab.StartAfterClassed("compute", 0, float64(n), p.world.Conf.ReduceBandwidth, path, done)
 		})
 	}
 	buffer.Reduce(op, dtype, dst, src)

@@ -19,7 +19,6 @@ package shm
 import (
 	"hierknem/internal/buffer"
 	"hierknem/internal/des"
-	"hierknem/internal/fabric"
 	"hierknem/internal/topology"
 )
 
@@ -36,10 +35,9 @@ func Copy(p *des.Proc, m *topology.Machine, core *topology.Core, srcSock, dstSoc
 		return
 	}
 	srcRes, rate := srcSock.ReadSide(&m.Spec, srcBufID, n, core.Socket == srcSock)
-	path := []*fabric.Resource{srcRes, dstSock.MemBus}
-	des.Await(p, func(done func()) {
-		m.Fab.StartAfterClassed("copy", m.Spec.ShmLatency, float64(n), rate, path, done)
-	})
+	done := des.AwaitBegin(p, 1)
+	m.Fab.StartAfterPath2("copy", m.Spec.ShmLatency, float64(n), rate, srcRes, dstSock.MemBus, done)
+	des.AwaitEnd(p)
 }
 
 // CopyBuffer performs Copy for the byte range described by src and then

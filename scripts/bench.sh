@@ -1,20 +1,46 @@
 #!/usr/bin/env bash
-# bench.sh — the reproducible fabric-allocator performance harness.
+# bench.sh — the reproducible performance harness.
 #
-# Runs the BenchmarkFabric* suite (Fig3a 768-rank broadcast sweep, Fig5
-# 768-rank Allgather, Table II ASP) under both allocator modes and distills
-# results/BENCH_fabric.json via cmd/benchjson, enforcing the acceptance
-# criterion: incremental mode must perform >=2x fewer resource visits than
-# global mode on the Fig3a sweep.
+# Two suites, each distilled to a checked-in JSON document via cmd/benchjson:
+#
+#   1. BenchmarkDES* (DES hot-path overhaul): event throughput and allocation
+#      rate of the engine + matching layer, compared against the checked-in
+#      pre-overhaul baseline (results/BASELINE_des.json, recorded from the
+#      pre-overhaul tree pinned to the ModeGlobal fabric). Acceptance bar:
+#      >=1.5x events/sec and >=2x fewer allocs/op on the Fig3a sweep, and
+#      events/op identical to the baseline on every benchmark (determinism
+#      canary). The DES suite runs FIRST, while the process and allocator
+#      are quiet, because it measures wall-clock throughput.
+#
+#   2. BenchmarkFabric* (fabric allocator): Fig3a 768-rank broadcast sweep,
+#      Fig5 768-rank Allgather, Table II ASP under both allocator modes;
+#      incremental mode must perform >=2x fewer resource visits than global
+#      mode on the Fig3a sweep.
 #
 # Environment knobs:
-#   BENCHTIME        go test -benchtime value (default 1x: one deterministic
+#   DES_COUNT        -count for the DES suite (default 3; means are compared)
+#   MIN_SPEEDUP      enforced events/sec ratio vs. baseline (default 1.5)
+#   MIN_ALLOC_RATIO  enforced allocs/op shrink factor (default 2)
+#   BENCHTIME        fabric suite -benchtime (default 1x: one deterministic
 #                    simulated run per configuration)
-#   MIN_VISIT_RATIO  the enforced ratio (default 2)
+#   MIN_VISIT_RATIO  fabric enforced visit ratio (default 2)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mkdir -p results
+
+echo "==> go test -bench BenchmarkDES (-count ${DES_COUNT:-3})"
+go test -run '^$' -bench 'BenchmarkDES' -count "${DES_COUNT:-3}" -benchmem . |
+    tee results/bench_des.txt
+
+echo "==> benchjson -schema des -> results/BENCH_des.json"
+go run ./cmd/benchjson \
+    -schema des \
+    -baseline results/BASELINE_des.json \
+    -min-speedup "${MIN_SPEEDUP:-1.5}" \
+    -min-alloc-ratio "${MIN_ALLOC_RATIO:-2}" \
+    -enforce 'Fig3a' \
+    -o results/BENCH_des.json < results/bench_des.txt
 
 echo "==> go test -bench BenchmarkFabric (-benchtime ${BENCHTIME:-1x})"
 go test -run '^$' -bench 'BenchmarkFabric' -benchtime "${BENCHTIME:-1x}" -benchmem . |
@@ -26,4 +52,4 @@ go run ./cmd/benchjson \
     -enforce 'Fig3a' \
     -o results/BENCH_fabric.json < results/bench_fabric.txt
 
-echo "bench: wrote results/BENCH_fabric.json (criterion passed)"
+echo "bench: wrote results/BENCH_des.json and results/BENCH_fabric.json (criteria passed)"

@@ -30,6 +30,19 @@
 //	go test -run '^$' -bench BenchmarkDES -benchtime 1x -count 3 -benchmem . |
 //	    go run ./cmd/benchjson -schema des -baseline results/BASELINE_des.json \
 //	        -min-speedup 1.5 -min-alloc-ratio 2 -enforce Fig3a -o results/BENCH_des.json
+//
+//   - sweep (-schema sweep, hierknem/bench-sweep/v1): the parallel sweep
+//     harness. Takes no stdin; scripts/bench.sh times `hierbench -exp all`
+//     serial and parallel, byte-compares the two stdouts, and passes the
+//     measurements in as flags. The byte-identical bar always binds; the
+//     wall-clock speedup bar (-min-sweep-speedup, default 3) binds only
+//     when the host has at least -min-cores cores (default 4) — on a
+//     smaller host there is nothing for the worker pool to saturate, and
+//     the document records the waiver explicitly.
+//
+//	go run ./cmd/benchjson -schema sweep -sweep-command 'hierbench -exp all ...' \
+//	    -serial-sec 10.4 -parallel-sec 2.9 -workers 8 -identical \
+//	    -o results/BENCH_sweep.json
 package main
 
 import (
@@ -111,17 +124,52 @@ type Criterion struct {
 	Pass          bool    `json:"pass"`
 }
 
+// SweepReport is the bench-sweep/v1 document: one serial/parallel timing
+// pair of a whole experiment sweep, plus the two bars of the sweep-runner
+// acceptance criterion.
+type SweepReport struct {
+	Schema          string  `json:"schema"`
+	GoVersion       string  `json:"go_version"`
+	Command         string  `json:"command"`
+	HostCores       int     `json:"host_cores"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+	Criterion       struct {
+		MinSpeedup      float64 `json:"min_speedup"`
+		MinCores        int     `json:"min_cores"`
+		SpeedupEnforced bool    `json:"speedup_enforced"` // false below min_cores: nothing to saturate
+		Pass            bool    `json:"pass"`
+	} `json:"criterion"`
+}
+
 const modeKey = "mode=incremental"
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
-	schema := flag.String("schema", "fabric", "document schema: fabric or des")
+	schema := flag.String("schema", "fabric", "document schema: fabric, des or sweep")
 	minRatio := flag.Float64("min-visit-ratio", 0, "fabric: fail unless every enforced pair's visit ratio meets this")
 	baseline := flag.String("baseline", "", "des: baseline JSON (a bench-des/v1 document) to compare against")
 	minSpeedup := flag.Float64("min-speedup", 0, "des: fail unless every enforced benchmark's events/sec speedup meets this")
 	minAllocRatio := flag.Float64("min-alloc-ratio", 0, "des: fail unless every enforced benchmark allocates this many times less than baseline")
 	enforce := flag.String("enforce", "Fig3a", "regexp selecting the benchmarks the bars apply to")
+	sweepCommand := flag.String("sweep-command", "", "sweep: the timed command line, recorded verbatim")
+	serialSec := flag.Float64("serial-sec", 0, "sweep: wall-clock seconds of the -parallel 1 run")
+	parallelSec := flag.Float64("parallel-sec", 0, "sweep: wall-clock seconds of the parallel run")
+	workers := flag.Int("workers", 0, "sweep: worker count of the parallel run")
+	hostCores := flag.Int("host-cores", runtime.NumCPU(), "sweep: cores available to the runs")
+	identical := flag.Bool("identical", false, "sweep: the two runs' stdout matched byte for byte")
+	minSweepSpeedup := flag.Float64("min-sweep-speedup", 3, "sweep: enforced wall-clock speedup (when host-cores >= min-cores)")
+	minCores := flag.Int("min-cores", 4, "sweep: smallest host the speedup bar applies to")
 	flag.Parse()
+
+	if *schema == "sweep" {
+		emitSweep(*out, *sweepCommand, *serialSec, *parallelSec, *workers, *hostCores,
+			*identical, *minSweepSpeedup, *minCores)
+		return
+	}
 
 	rep := &Report{GoVersion: runtime.Version()}
 	var raws []rawBench
@@ -169,7 +217,7 @@ func main() {
 			rep.Criterion = &Criterion{MinSpeedup: *minSpeedup, MinAllocRatio: *minAllocRatio, AppliesTo: *enforce, Pass: pass}
 		}
 	default:
-		fatal(fmt.Errorf("unknown -schema %q (want fabric or des)", *schema))
+		fatal(fmt.Errorf("unknown -schema %q (want fabric, des or sweep)", *schema))
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -400,6 +448,61 @@ func compareDES(rep *Report, baselinePath string, re *regexp.Regexp, minSpeedup,
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -enforce %q\n", re.String())
 	}
 	return pass
+}
+
+// emitSweep builds, writes and enforces the bench-sweep/v1 document. The
+// byte-identical bar always binds — parallelism that changes one output
+// byte is a correctness bug, not a tuning problem. The speedup bar binds
+// only on hosts with at least minCores cores.
+func emitSweep(out, command string, serialSec, parallelSec float64, workers, hostCores int,
+	identical bool, minSpeedup float64, minCores int) {
+	if serialSec <= 0 || parallelSec <= 0 {
+		fatal(fmt.Errorf("sweep: -serial-sec and -parallel-sec must be positive"))
+	}
+	rep := SweepReport{
+		Schema:          "hierknem/bench-sweep/v1",
+		GoVersion:       runtime.Version(),
+		Command:         command,
+		HostCores:       hostCores,
+		Workers:         workers,
+		SerialSeconds:   serialSec,
+		ParallelSeconds: parallelSec,
+		Speedup:         serialSec / parallelSec,
+		OutputIdentical: identical,
+	}
+	rep.Criterion.MinSpeedup = minSpeedup
+	rep.Criterion.MinCores = minCores
+	rep.Criterion.SpeedupEnforced = hostCores >= minCores
+	pass := identical
+	if !identical {
+		fmt.Fprintf(os.Stderr, "benchjson: sweep stdout differs between serial and parallel runs\n")
+	}
+	if rep.Criterion.SpeedupEnforced && rep.Speedup < minSpeedup {
+		pass = false
+		fmt.Fprintf(os.Stderr, "benchjson: sweep speedup %.2f < %.2f on a %d-core host\n",
+			rep.Speedup, minSpeedup, hostCores)
+	}
+	if !rep.Criterion.SpeedupEnforced {
+		fmt.Fprintf(os.Stderr, "benchjson: note: speedup bar waived (%d cores < %d); byte-identity still enforced\n",
+			hostCores, minCores)
+	}
+	rep.Criterion.Pass = pass
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fatal(err)
+		}
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	if !pass {
+		fatal(fmt.Errorf("acceptance criterion failed"))
+	}
 }
 
 // trimProcSuffix drops the trailing "-8" GOMAXPROCS marker.

@@ -62,7 +62,11 @@ func TestExperimentsDeterministic(t *testing.T) {
 		}
 		t.Run(id, func(t *testing.T) {
 			run := func() string {
-				return captureStdout(t, func() { experiments[id](tinyCfg) })
+				return captureStdout(t, func() {
+					if err := runExperiments([]string{id}, tinyCfg, 1, nil); err != nil {
+						t.Fatal(err)
+					}
+				})
 			}
 			first := run()
 			if first == "" {

@@ -6,9 +6,14 @@
 //	hierbench -exp fig3a            # one experiment
 //	hierbench -exp all              # the whole evaluation
 //	hierbench -exp fig7b -nodes 16  # scaled-down cluster
+//	hierbench -exp all -parallel 8  # eight data points at a time
 //
 // Experiments: fig1, fig2, fig3a, fig3b, fig4a, fig4b, fig5a, fig5b,
 // fig6a, fig6b, fig7a, fig7b, table1, table2, ablation, extensions, all.
+//
+// Every data point is an independent simulation, so the sweep executes them
+// on a worker pool (-parallel, default GOMAXPROCS) and renders results in
+// submission order: output is byte-identical at every parallelism level.
 //
 // The simulator reports virtual time; the paper's qualitative shapes (who
 // wins, by what factor, where crossovers fall) are the reproduction target,
@@ -19,11 +24,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"hierknem"
 	"hierknem/internal/imb"
+	"hierknem/internal/sweep"
 )
 
 type config struct {
@@ -39,40 +46,61 @@ func main() {
 	iters := flag.Int("iters", 3, "timed iterations per data point")
 	aspN := flag.Int("asp-n", 2048, "ASP matrix dimension (paper: 16384/32768)")
 	aspNodes := flag.Int("asp-nodes", 8, "nodes for the ASP study (paper: 32)")
+	parallel := flag.Int("parallel", 0, "concurrent data-point simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := config{nodes: *nodes, iters: *iters, aspN: *aspN, aspDim: *aspNodes}
 
+	ids := []string{*exp}
 	if *exp == "all" {
-		for _, id := range experimentIDs() {
-			experiments[id](cfg)
-		}
-		return
-	}
-	fn, ok := experiments[*exp]
-	if !ok {
+		ids = experimentIDs()
+	} else if _, ok := experiments[*exp]; !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; known: fig1..fig7b, table1, table2, all\n", *exp)
 		os.Exit(2)
 	}
-	fn(cfg)
+	if err := runExperiments(ids, cfg, *parallel, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
-// experiments maps every -exp id to its runner. The determinism golden test
+// runExperiments plans every experiment's jobs into one sweep, executes the
+// pool, then renders each experiment's output in order. Planning never
+// prints; rendering only reads completed Futures — that split is what makes
+// parallel output byte-identical to serial.
+func runExperiments(ids []string, cfg config, parallel int, progress io.Writer) error {
+	s := sweep.New("hierbench", parallel, progress)
+	renders := make([]func(), 0, len(ids))
+	for _, id := range ids {
+		renders = append(renders, experiments[id](cfg, s))
+	}
+	if err := s.Run(); err != nil {
+		return err
+	}
+	for _, render := range renders {
+		render()
+	}
+	return nil
+}
+
+// experiments maps every -exp id to its planner: it submits the
+// experiment's data-point jobs to the sweep and returns the closure that
+// renders them once the sweep has run. The determinism golden test
 // (determinism_test.go) iterates this same table, so a new experiment is
 // automatically covered.
-var experiments = map[string]func(config){
+var experiments = map[string]func(config, *sweep.Sweep) func(){
 	"fig1":       fig1,
 	"fig2":       fig2,
-	"fig3a":      func(c config) { fig3(c, "stremi") },
-	"fig3b":      func(c config) { fig3(c, "parapluie") },
-	"fig4a":      func(c config) { fig4(c, "stremi") },
-	"fig4b":      func(c config) { fig4(c, "parapluie") },
-	"fig5a":      func(c config) { fig5(c, "stremi") },
-	"fig5b":      func(c config) { fig5(c, "parapluie") },
-	"fig6a":      func(c config) { fig6(c, "bcast") },
-	"fig6b":      func(c config) { fig6(c, "allgather") },
-	"fig7a":      func(c config) { fig7(c, "stremi") },
-	"fig7b":      func(c config) { fig7(c, "parapluie") },
+	"fig3a":      func(c config, s *sweep.Sweep) func() { return fig3(c, s, "stremi") },
+	"fig3b":      func(c config, s *sweep.Sweep) func() { return fig3(c, s, "parapluie") },
+	"fig4a":      func(c config, s *sweep.Sweep) func() { return fig4(c, s, "stremi") },
+	"fig4b":      func(c config, s *sweep.Sweep) func() { return fig4(c, s, "parapluie") },
+	"fig5a":      func(c config, s *sweep.Sweep) func() { return fig5(c, s, "stremi") },
+	"fig5b":      func(c config, s *sweep.Sweep) func() { return fig5(c, s, "parapluie") },
+	"fig6a":      func(c config, s *sweep.Sweep) func() { return fig6(c, s, "bcast") },
+	"fig6b":      func(c config, s *sweep.Sweep) func() { return fig6(c, s, "allgather") },
+	"fig7a":      func(c config, s *sweep.Sweep) func() { return fig7(c, s, "stremi") },
+	"fig7b":      func(c config, s *sweep.Sweep) func() { return fig7(c, s, "parapluie") },
 	"table1":     table1,
 	"table2":     table2,
 	"ablation":   ablation,
@@ -101,14 +129,8 @@ func clusterSpec(name string, nodes int) hierknem.Spec {
 	}
 }
 
-func fullWorld(spec hierknem.Spec, binding string) *hierknem.World {
-	np := spec.Nodes * spec.CoresPerNode()
-	w, err := hierknem.NewWorld(spec, binding, np)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
+// fullNP returns the full-population rank count of a spec.
+func fullNP(spec hierknem.Spec) int { return spec.Nodes * spec.CoresPerNode() }
 
 func header(title, setup string) {
 	fmt.Printf("\n== %s ==\n   %s\n", title, setup)

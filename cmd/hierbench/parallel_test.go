@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+)
+
+// The sweep runner promises that parallel execution is invisible in the
+// output: results are rendered in submission order from completed Futures,
+// and every job's simulation is isolated, so `-parallel N` must print
+// exactly the bytes `-parallel 1` prints. This test pins that for every
+// experiment id, with enough workers that jobs genuinely interleave.
+
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	for _, id := range experimentIDs() {
+		if testing.Short() && !shortSubset[id] {
+			continue
+		}
+		t.Run(id, func(t *testing.T) {
+			serial := captureStdout(t, func() {
+				if err := runExperiments([]string{id}, tinyCfg, 1, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			parallel := captureStdout(t, func() {
+				if err := runExperiments([]string{id}, tinyCfg, 8, nil); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if serial == "" {
+				t.Fatal("experiment printed nothing")
+			}
+			if serial != parallel {
+				t.Fatalf("experiment %q output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}
+
+// TestAllExperimentsOneSweep routes the whole evaluation through a single
+// shared pool (the -exp all path: one sweep, sixteen planners) and checks
+// it matches the concatenation of per-experiment serial runs.
+func TestAllExperimentsOneSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-evaluation sweep skipped in -short mode")
+	}
+	ids := experimentIDs()
+	var concat string
+	for _, id := range ids {
+		concat += captureStdout(t, func() {
+			if err := runExperiments([]string{id}, tinyCfg, 1, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	all := captureStdout(t, func() {
+		if err := runExperiments(ids, tinyCfg, 8, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if all != concat {
+		t.Fatalf("-exp all through one parallel sweep differs from per-experiment serial runs\n--- all ---\n%s\n--- concat ---\n%s", all, concat)
+	}
+}

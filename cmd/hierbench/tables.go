@@ -6,14 +6,14 @@ import (
 	"hierknem"
 	"hierknem/internal/core"
 	"hierknem/internal/imb"
+	"hierknem/internal/sweep"
 )
 
 // table1: best pipeline size for Broadcast and Reduce on each cluster,
 // found by sweeping pipeline candidates at representative message sizes in
-// each of Table I's ranges.
-func table1(cfg config) {
-	header("Table I — Best pipeline size per operation and network",
-		fmt.Sprintf("%d nodes, full population; sweep over pipeline candidates", cfg.nodes))
+// each of Table I's ranges. The "best" column compares across a row's
+// candidates, so rendering waits for the whole sweep.
+func table1(cfg config, s *sweep.Sweep) func() {
 	pipelines := []int64{16 << 10, 64 << 10, 256 << 10, 1 << 20}
 
 	type rangeCase struct {
@@ -30,66 +30,93 @@ func table1(cfg config) {
 		{"bcast", "bcast msg in [512KB,inf)", 4 << 20},
 		{"reduce", "reduce msg in [2KB,16MB)", 4 << 20},
 	}
+	clusters := []string{"parapluie", "stremi"}
 
-	for _, cluster := range []string{"parapluie", "stremi"} {
+	futs := map[string]map[string]map[int64]*sweep.Future[imb.Result]{}
+	for _, cluster := range clusters {
 		spec := clusterSpec(cluster, cfg.nodes)
-		fmt.Printf("%s:\n", cluster)
+		futs[cluster] = map[string]map[int64]*sweep.Future[imb.Result]{}
 		for _, cse := range cases {
-			best := int64(0)
-			bestT := 0.0
-			fmt.Printf("  %-28s", cse.label)
+			futs[cluster][cse.label] = map[int64]*sweep.Future[imb.Result]{}
 			for _, pl := range pipelines {
 				if pl > cse.msg {
-					fmt.Printf("%10s", "-")
 					continue
 				}
-				w := fullWorld(spec, "bycore")
-				var mod hierknem.Module
-				if cse.op == "bcast" {
-					mod = hierknem.New(core.Options{BcastPipeline: core.FixedPipeline(pl)})
-				} else {
-					mod = hierknem.New(core.Options{ReducePipeline: core.FixedPipeline(pl)})
-				}
-				var r imb.Result
-				if cse.op == "bcast" {
-					r = hierknem.BenchBcast(w, mod, cse.msg, imb.Opts{Iterations: cfg.iters, Warmup: 1})
-				} else {
-					r = hierknem.BenchReduce(w, mod, cse.msg, imb.Opts{Iterations: cfg.iters, Warmup: 1})
-				}
-				fmt.Printf("%10.2f", r.AvgTime*1e3)
-				if best == 0 || r.AvgTime < bestT {
-					best, bestT = pl, r.AvgTime
-				}
+				id := fmt.Sprintf("table1/%s/%s/pl=%s", cluster, cse.op, sizeLabel(pl))
+				futs[cluster][cse.label][pl] = sweep.Go(s, id, func(c *sweep.Ctx) imb.Result {
+					w := c.World(spec, "bycore", fullNP(spec))
+					if cse.op == "bcast" {
+						mod := hierknem.New(core.Options{BcastPipeline: core.FixedPipeline(pl)})
+						return hierknem.BenchBcast(w, mod, cse.msg, imb.Opts{Iterations: cfg.iters, Warmup: 1})
+					}
+					mod := hierknem.New(core.Options{ReducePipeline: core.FixedPipeline(pl)})
+					return hierknem.BenchReduce(w, mod, cse.msg, imb.Opts{Iterations: cfg.iters, Warmup: 1})
+				})
 			}
-			fmt.Printf("   best=%s\n", sizeLabel(best))
 		}
-		fmt.Printf("  %-28s", "(pipeline candidates)")
-		for _, pl := range pipelines {
-			fmt.Printf("%10s", sizeLabel(pl))
-		}
-		fmt.Println("   (cells: avg ms)")
 	}
-	fmt.Println("paper: parapluie 64KB everywhere; stremi bcast 16KB/32KB, reduce 64KB/1MB")
+	return func() {
+		header("Table I — Best pipeline size per operation and network",
+			fmt.Sprintf("%d nodes, full population; sweep over pipeline candidates", cfg.nodes))
+		for _, cluster := range clusters {
+			fmt.Printf("%s:\n", cluster)
+			for _, cse := range cases {
+				best := int64(0)
+				bestT := 0.0
+				fmt.Printf("  %-28s", cse.label)
+				for _, pl := range pipelines {
+					if pl > cse.msg {
+						fmt.Printf("%10s", "-")
+						continue
+					}
+					r := futs[cluster][cse.label][pl].Get()
+					fmt.Printf("%10.2f", r.AvgTime*1e3)
+					if best == 0 || r.AvgTime < bestT {
+						best, bestT = pl, r.AvgTime
+					}
+				}
+				fmt.Printf("   best=%s\n", sizeLabel(best))
+			}
+			fmt.Printf("  %-28s", "(pipeline candidates)")
+			for _, pl := range pipelines {
+				fmt.Printf("%10s", sizeLabel(pl))
+			}
+			fmt.Println("   (cells: avg ms)")
+		}
+		fmt.Println("paper: parapluie 64KB everywhere; stremi bcast 16KB/32KB, reduce 64KB/1MB")
+	}
 }
 
 // table2: ASP application runtime breakdown on the Ethernet cluster.
 // The paper runs 16K/32K matrices on 768 processes; the default here is a
 // scaled problem (-asp-n, -asp-nodes) with the same comm/compute structure.
-func table2(cfg config) {
+func table2(cfg config, s *sweep.Sweep) func() {
 	spec := clusterSpec("stremi", cfg.aspDim)
-	np := spec.Nodes * spec.CoresPerNode()
-	header("Table II — ASP runtime breakdown (parallel Floyd-Warshall)",
-		fmt.Sprintf("stremi, %d nodes, %d processes, N=%d (paper: 32 nodes, 768 procs, N=16K/32K)",
-			spec.Nodes, np, cfg.aspN))
-	fmt.Printf("%-12s%12s%12s%10s\n", "module", "bcast(s)", "total(s)", "comm%")
+	np := fullNP(spec)
+	var names []string
 	for _, mod := range hierknem.Lineup(&spec) {
-		w, err := hierknem.NewWorld(spec, "bycore", np)
-		if err != nil {
-			panic(err)
-		}
-		res := hierknem.RunASP(w, mod, cfg.aspN, 0)
-		fmt.Printf("%-12s%12.2f%12.2f%9.1f%%\n",
-			mod.Name(), res.Bcast, res.Total, 100*res.Bcast/res.Total)
+		names = append(names, mod.Name())
 	}
-	fmt.Println("paper (16K): hierknem 20.3/97.4s (21%), tuned 229/308s (74%), hierarch 31.7/109s, mpich2 128/204s")
+
+	futs := make([]*sweep.Future[hierknem.ASPResult], len(names))
+	for mi, name := range names {
+		id := "table2/" + name
+		futs[mi] = sweep.Go(s, id, func(c *sweep.Ctx) hierknem.ASPResult {
+			mod := hierknem.Lineup(&spec)[mi]
+			w := c.World(spec, "bycore", np)
+			return hierknem.RunASP(w, mod, cfg.aspN, 0)
+		})
+	}
+	return func() {
+		header("Table II — ASP runtime breakdown (parallel Floyd-Warshall)",
+			fmt.Sprintf("stremi, %d nodes, %d processes, N=%d (paper: 32 nodes, 768 procs, N=16K/32K)",
+				spec.Nodes, np, cfg.aspN))
+		fmt.Printf("%-12s%12s%12s%10s\n", "module", "bcast(s)", "total(s)", "comm%")
+		for mi, name := range names {
+			res := futs[mi].Get()
+			fmt.Printf("%-12s%12.2f%12.2f%9.1f%%\n",
+				name, res.Bcast, res.Total, 100*res.Bcast/res.Total)
+		}
+		fmt.Println("paper (16K): hierknem 20.3/97.4s (21%), tuned 229/308s (74%), hierarch 31.7/109s, mpich2 128/204s")
+	}
 }

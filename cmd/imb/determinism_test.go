@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hierknem"
+)
+
+// Mirrors cmd/hierbench's determinism golden: the same sweep on the same
+// configuration must print the same bytes every time in the same process,
+// and a parallel pool must print exactly what the serial pool prints.
+
+// tinySweep runs a scaled-down size sweep into a buffer.
+func tinySweep(t *testing.T, ops []string, parallel int) string {
+	t.Helper()
+	spec := hierknem.Parapluie(2)
+	var out bytes.Buffer
+	err := runSweep(&out, nil, spec, "bycore", 0, ops,
+		spec.Nodes*spec.CoresPerNode(), 1<<10, 64<<10, 2, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	ops := []string{"bcast", "reduce"}
+	first := tinySweep(t, ops, 1)
+	if first == "" {
+		t.Fatal("sweep printed nothing")
+	}
+	if !strings.Contains(first, "# Benchmarking bcast") {
+		t.Fatalf("missing bcast table:\n%s", first)
+	}
+	second := tinySweep(t, ops, 1)
+	if first != second {
+		t.Fatalf("imb sweep is nondeterministic:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	ops := []string{"bcast", "reduce", "gather"}
+	serial := tinySweep(t, ops, 1)
+	parallel := tinySweep(t, ops, 8)
+	if serial != parallel {
+		t.Fatalf("imb sweep output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

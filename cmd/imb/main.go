@@ -8,16 +8,24 @@
 //	imb -op bcast -cluster stremi     # one op on the Ethernet cluster
 //	imb -module tuned -np 192         # one baseline at a custom scale
 //	imb -min 1024 -max 4194304        # custom size range
+//	imb -parallel 8                   # eight sizes simulated at a time
+//
+// Every (operation, size) data point is an independent simulation; the
+// sweep executes them on a worker pool (-parallel, default GOMAXPROCS) and
+// prints rows in table order, so output is byte-identical at every
+// parallelism level.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"hierknem"
 	"hierknem/internal/imb"
+	"hierknem/internal/sweep"
 )
 
 func main() {
@@ -30,6 +38,7 @@ func main() {
 	minSize := flag.Int64("min", 1<<10, "smallest message size (bytes)")
 	maxSize := flag.Int64("max", 4<<20, "largest message size (bytes)")
 	iters := flag.Int("iters", 3, "timed iterations per size")
+	parallel := flag.Int("parallel", 0, "concurrent size simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var spec hierknem.Spec
@@ -45,56 +54,78 @@ func main() {
 	if *np == 0 {
 		*np = spec.Nodes * spec.CoresPerNode()
 	}
+	if *binding != "bycore" && *binding != "bynode" {
+		fmt.Fprintf(os.Stderr, "unknown binding %q\n", *binding)
+		os.Exit(2)
+	}
 
-	var mod hierknem.Module
-	for _, m := range hierknem.Lineup(&spec) {
+	modIndex := -1
+	lineup := hierknem.Lineup(&spec)
+	for i, m := range lineup {
 		if m.Name() == *moduleName {
-			mod = m
+			modIndex = i
 		}
 	}
-	if mod == nil {
+	if modIndex < 0 {
 		fmt.Fprintf(os.Stderr, "module %q not in this cluster's lineup\n", *moduleName)
 		os.Exit(2)
 	}
 
-	fmt.Printf("#----------------------------------------------------------------\n")
-	fmt.Printf("# Simulated Intel MPI Benchmarks (hierknem reproduction)\n")
-	fmt.Printf("# cluster: %s (%d nodes), module: %s, %d processes, %s binding\n",
-		spec.Name, spec.Nodes, mod.Name(), *np, *binding)
-	fmt.Printf("#----------------------------------------------------------------\n")
-
-	opts := imb.Opts{Iterations: *iters, Warmup: 1, RotateRoot: true}
+	var ops []string
 	for _, op := range strings.Split(*opList, ",") {
 		op = strings.TrimSpace(op)
-		fmt.Printf("\n# Benchmarking %s\n", op)
-		fmt.Printf("%12s %10s %12s %12s %12s %14s\n",
-			"#bytes", "#reps", "t_min[us]", "t_max[us]", "t_avg[us]", "aggBW[MB/s]")
-		for size := *minSize; size <= *maxSize; size *= 2 {
-			w, err := hierknem.NewWorld(spec, *binding, *np)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			var r imb.Result
-			switch op {
-			case "bcast":
-				r = imb.Bcast(w, mod, size, opts)
-			case "reduce":
-				r = imb.Reduce(w, mod, size, opts)
-			case "allgather":
-				r = imb.Allgather(w, mod, size, opts)
-			case "allreduce":
-				r = imb.Allreduce(w, mod, size, opts)
-			case "scatter":
-				r = imb.Scatter(w, mod, size, opts)
-			case "gather":
-				r = imb.Gather(w, mod, size, opts)
-			default:
-				fmt.Fprintf(os.Stderr, "unknown op %q\n", op)
-				os.Exit(2)
-			}
-			fmt.Printf("%12d %10d %12.2f %12.2f %12.2f %14.1f\n",
-				r.Bytes, r.Iterations, r.MinTime*1e6, r.MaxTime*1e6, r.AvgTime*1e6, r.AggBW/1e6)
+		if !imb.KnownOp(op) {
+			fmt.Fprintf(os.Stderr, "unknown op %q\n", op)
+			os.Exit(2)
+		}
+		ops = append(ops, op)
+	}
+
+	if err := runSweep(os.Stdout, os.Stderr, spec, *binding, modIndex, ops, *np, *minSize, *maxSize, *iters, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runSweep submits one job per (op, size) cell, runs the pool, and prints
+// the IMB tables in sweep order.
+func runSweep(out, progress io.Writer, spec hierknem.Spec, binding string, modIndex int, ops []string,
+	np int, minSize, maxSize int64, iters, parallel int) error {
+	modName := hierknem.Lineup(&spec)[modIndex].Name()
+	opts := imb.Opts{Iterations: iters, Warmup: 1, RotateRoot: true}
+
+	s := sweep.New("imb", parallel, progress)
+	rows := map[string][]*sweep.Future[imb.Result]{}
+	for _, op := range ops {
+		for size := minSize; size <= maxSize; size *= 2 {
+			id := fmt.Sprintf("%s/%d", op, size)
+			rows[op] = append(rows[op], sweep.Go(s, id, func(c *sweep.Ctx) imb.Result {
+				w := c.World(spec, binding, np)
+				mod := hierknem.Lineup(&spec)[modIndex]
+				r, err := imb.RunOp(w, mod, op, size, opts)
+				if err != nil {
+					panic(err)
+				}
+				return r
+			}))
 		}
 	}
+	if err := s.Run(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "#----------------------------------------------------------------\n")
+	fmt.Fprintf(out, "# Simulated Intel MPI Benchmarks (hierknem reproduction)\n")
+	fmt.Fprintf(out, "# cluster: %s (%d nodes), module: %s, %d processes, %s binding\n",
+		spec.Name, spec.Nodes, modName, np, binding)
+	fmt.Fprintf(out, "#----------------------------------------------------------------\n")
+	for _, op := range ops {
+		fmt.Fprintf(out, "\n# Benchmarking %s\n", op)
+		fmt.Fprintf(out, "%12s %10s %12s %12s %12s %14s\n",
+			"#bytes", "#reps", "t_min[us]", "t_max[us]", "t_avg[us]", "aggBW[MB/s]")
+		for _, fut := range rows[op] {
+			fmt.Fprintln(out, fut.Get().TableRow())
+		}
+	}
+	return nil
 }

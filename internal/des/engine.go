@@ -33,7 +33,25 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"sync/atomic"
 )
+
+// hostPinning gates the GOMAXPROCS(1) pinning in Run. Pinning is a
+// process-global knob, so it is only safe — and only profitable — when one
+// engine runs at a time; a parallel sweep runner disables it for the
+// duration of its worker pool. Atomic because the sweep toggles it from the
+// coordinating goroutine while no engine is mid-Run; it carries no
+// simulation state, so runs stay isolated regardless of its value.
+var hostPinning atomic.Bool
+
+func init() { hostPinning.Store(true) }
+
+// SetHostPinning enables or disables the single-P pinning Run applies for
+// the duration of a simulation, returning the previous setting. Leave it on
+// (the default) for serial workloads; turn it off while running engines on
+// concurrent goroutines, where a shared GOMAXPROCS toggle would serialize
+// the host and race against other runs.
+func SetHostPinning(on bool) (previous bool) { return hostPinning.Swap(on) }
 
 // Engine is a discrete-event simulation engine. The zero value is not usable;
 // create one with New.
@@ -414,8 +432,11 @@ func (e *Engine) Run() error {
 	// keeps every handoff on the local run queue — no idle-P wakeups, no
 	// cross-P lock traffic, no spinning Ms — which is worth >10% of wall
 	// time on collective-heavy workloads. Restored on exit; a no-op when
-	// GOMAXPROCS is already 1.
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	// GOMAXPROCS is already 1. Skipped under SetHostPinning(false): the
+	// knob is process-wide, so concurrent engines must leave it alone.
+	if hostPinning.Load() {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
 	e.runErr = nil
 	if !e.dispatch(nil, true) {
 		// The baton left this goroutine; it comes back over mainWake when
@@ -496,6 +517,42 @@ func (e *Engine) finish(onMain bool) bool {
 	}
 	e.mainWake <- struct{}{}
 	return false
+}
+
+// Reset returns the engine to its pristine post-New state while keeping the
+// event free list warm. All simulation state — clock, sequence counter,
+// processed count, queues, process table, run error — is cleared, so a fresh
+// set of Spawns followed by Run replays bit-identically to a run on a brand
+// new engine: alloc fully re-stamps recycled records, and with seq back at
+// zero every (time, seq) tie-break is reproduced exactly. Reset panics if
+// called mid-Run or while spawned processes are still alive (their
+// goroutines would outlive the state they reference).
+func (e *Engine) Reset() {
+	if e.running {
+		panic("des: Reset called during Run")
+	}
+	if e.alive > 0 {
+		panic(fmt.Sprintf("des: Reset with %d live process(es)", e.alive))
+	}
+	// Drain leftover events (possible after a MaxTime abort) into the pool.
+	for _, ev := range e.queue {
+		e.release(ev)
+	}
+	e.queue = e.queue[:0]
+	for _, ev := range e.bucket[e.bucketPos:] {
+		if ev != nil {
+			e.release(ev) // cancelled-in-place entries are only recycled here
+		}
+	}
+	e.bucket = e.bucket[:0]
+	e.bucketPos = 0
+	e.bucketLive = 0
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.procs = e.procs[:0]
+	e.current = nil
+	e.runErr = nil
 }
 
 // Pending returns the number of events currently scheduled. Cancelled

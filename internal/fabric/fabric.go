@@ -260,6 +260,42 @@ func (n *Net) Stats() RecomputeStats {
 // Components returns the number of currently active flow components.
 func (n *Net) Components() int { return len(n.comps) }
 
+// Reset returns the fabric to its pristine post-NewNet state while keeping
+// the expensive arenas warm: the resource set itself, the flow free list and
+// the completion scratch survive, so a reused fabric allocates nothing on
+// its next run. Identifier counters restart at zero — flow IDs only ever
+// feed the (ID-ordered) progressive-filling tie-breaks within one run, so
+// restarting them reproduces a fresh fabric's allocation decisions exactly.
+// Reset panics if flows are still in flight; callers reset the owning
+// engine first, so no sync or completion event can be pending either.
+func (n *Net) Reset() {
+	if n.nFlows > 0 {
+		panic(fmt.Sprintf("fabric: Reset with %d flow(s) in flight", n.nFlows))
+	}
+	n.comps = n.comps[:0]
+	n.dirty = n.dirty[:0]
+	n.nextID = 0
+	n.nextCompID = 0
+	n.syncScheduled = false
+	n.stats = RecomputeStats{}
+	for _, r := range n.resources {
+		r.load = 0
+		r.since = 0
+		r.BytesServed = 0
+		r.BusyTime = 0
+		r.comp = nil
+		r.ridx = 0
+		r.resid = 0
+		r.wsum = 0
+		r.uf = 0
+	}
+	clear(n.classBusy)
+	clear(n.overlapBusy)
+	clear(n.classCount)
+	n.lastClass = 0
+	n.classScr = n.classScr[:0]
+}
+
 // EnableShadow turns on the always-on-in-tests cross-check: after every
 // sync the Net re-derives the component partition and all rates from
 // scratch and compares them against the incrementally maintained state

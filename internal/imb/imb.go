@@ -32,6 +32,46 @@ func (r Result) String() string {
 		r.Op, r.Module, r.Bytes, r.AvgTime*1e6, r.AggBW/1e6)
 }
 
+// TableRow renders the measurement as one row of the IMB table format
+// (cmd/imb): bytes, reps, min/max/avg microseconds, aggregate MB/s.
+// Rendering is split from measuring so sweep drivers can run data points
+// out of order and still emit rows in table order.
+func (r Result) TableRow() string {
+	return fmt.Sprintf("%12d %10d %12.2f %12.2f %12.2f %14.1f",
+		r.Bytes, r.Iterations, r.MinTime*1e6, r.MaxTime*1e6, r.AvgTime*1e6, r.AggBW/1e6)
+}
+
+// KnownOp reports whether RunOp can dispatch op. Drivers validate op lists
+// before submitting sweep jobs so an unknown name fails fast, not mid-pool.
+func KnownOp(op string) bool {
+	switch op {
+	case "bcast", "reduce", "allgather", "allreduce", "scatter", "gather":
+		return true
+	}
+	return false
+}
+
+// RunOp dispatches the named collective benchmark — one sweep data point —
+// on w. It reports an error for an unknown operation name.
+func RunOp(w *mpi.World, mod modules.Module, op string, bytes int64, opts Opts) (Result, error) {
+	switch op {
+	case "bcast":
+		return Bcast(w, mod, bytes, opts), nil
+	case "reduce":
+		return Reduce(w, mod, bytes, opts), nil
+	case "allgather":
+		return Allgather(w, mod, bytes, opts), nil
+	case "allreduce":
+		return Allreduce(w, mod, bytes, opts), nil
+	case "scatter":
+		return Scatter(w, mod, bytes, opts), nil
+	case "gather":
+		return Gather(w, mod, bytes, opts), nil
+	default:
+		return Result{}, fmt.Errorf("imb: unknown op %q", op)
+	}
+}
+
 // AggregateBW computes the paper's "aggregate bandwidth" metric: total bytes
 // delivered cluster-wide per second of operation time.
 //

@@ -64,6 +64,15 @@ func NewDevice(m *topology.Machine, nodeID int) *Device {
 // NodeID returns the node this device serves.
 func (d *Device) NodeID() int { return d.nodeID }
 
+// Reset drops all registrations and counters, returning the device to its
+// post-NewDevice state for reuse by a consecutive run on the same machine.
+// Cookies restart at 1, matching a fresh device cookie-for-cookie.
+func (d *Device) Reset() {
+	clear(d.regions)
+	d.next = 1
+	d.stats = Stats{}
+}
+
 // Stats returns a copy of the device counters.
 func (d *Device) Stats() Stats { return d.stats }
 

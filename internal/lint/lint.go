@@ -88,6 +88,7 @@ var Analyzers = []*Analyzer{
 	RequestHygieneAnalyzer,
 	ErrcheckAnalyzer,
 	BufferEscapeAnalyzer,
+	RunIsolationAnalyzer,
 }
 
 // ByName returns the registered analyzer with that name, or nil.

@@ -55,3 +55,9 @@ func hostPause() {
 	//lint:ignore determinism preceding-line suppression of the line below
 	time.Sleep(time.Microsecond)
 }
+
+// hits is host-side tooling state, never reachable from a simulation run;
+// the directive records that and suppresses the run-isolation finding.
+var hits int //lint:ignore runisolation host-side fixture counter, not simulation state
+
+func recordHit() { hits++ }

@@ -1,0 +1,58 @@
+// Package runisolation is a hierlint golden fixture. Every line carrying a
+// `// want` comment is a deliberate violation of the run-isolation
+// analyzer; the remaining declarations are the sanctioned patterns that
+// must not be flagged.
+package runisolation
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// counter is written by bump(): classic shared mutable state.
+var counter int // want `package-level var counter is mutated at runtime`
+
+// cache is a composite: mutable through the reference even without any
+// assignment to the variable itself.
+var cache = map[string]int{} // want `package-level var cache has a mutable \(composite\) type`
+
+// history is appended to, which reassigns the slice header.
+var history []float64 // want `package-level var history is mutated at runtime`
+
+// leaked is never assigned, but its address escapes, so any caller can
+// write it.
+var leaked int // want `package-level var leaked is mutated at runtime`
+
+// nextID is an atomic counter whose numeric value never influences a
+// simulation result: exempt.
+var nextID atomic.Uint64
+
+// enabled is an atomic process-wide toggle: exempt.
+var enabled atomic.Bool
+
+// Inf is basic-typed and only ever read — a constant Go cannot spell
+// `const`: exempt.
+var Inf = math.Inf(1)
+
+// scratch is reassigned inside a range clause.
+var scratch int // want `package-level var scratch is mutated at runtime`
+
+func bump() { counter++ }
+
+func put(k string, v int) { cache[k] = v }
+
+func record(x float64) { history = append(history, x) }
+
+func addr() *int { return &leaked }
+
+func next() uint64 { return nextID.Add(1) }
+
+func on() bool { return enabled.Load() }
+
+func sum(xs []int) (t float64) {
+	for scratch = range xs {
+		t += Inf
+	}
+	_ = scratch
+	return t
+}

@@ -202,12 +202,12 @@ const internalTagBase = 1 << 24
 func (c *Comm) disseminationBarrier(p *Proc) {
 	me := c.Rank(p)
 	n := c.Size()
-	empty := emptyBuf()
+	empty := c.world.empty
 	for round, dist := 0, 1; dist < n; round, dist = round+1, dist*2 {
 		to := (me + dist) % n
 		from := (me - dist + n) % n
 		tag := internalTagBase + round
-		r := p.Irecv(c, emptyBuf(), from, tag)
+		r := p.Irecv(c, empty, from, tag)
 		s := p.Isend(c, empty, to, tag)
 		p.Wait(r)
 		p.Wait(s)

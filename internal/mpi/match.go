@@ -66,6 +66,17 @@ func (q *fifo[T]) peek() (T, bool) {
 
 func (q *fifo[T]) len() int { return len(q.items) - q.head }
 
+// drop empties the queue without popping each element, nilling retained
+// slots so nothing is pinned; the backing array is kept for reuse.
+func (q *fifo[T]) drop() {
+	var zero T
+	for i := q.head; i < len(q.items); i++ {
+		q.items[i] = zero
+	}
+	q.items = q.items[:0]
+	q.head = 0
+}
+
 // postIndex holds one rank's posted receives awaiting a match.
 type postIndex struct {
 	specific map[matchKey]*fifo[*posting] // fully-specific receives, FIFO per key
@@ -92,6 +103,24 @@ func (ix *postIndex) add(po *posting) {
 		ix.specific[key] = q
 	}
 	q.push(po)
+}
+
+// reset clears the index for world reuse. Drained per-key FIFOs stay in the
+// map (warm for the next run) and the posting-order counter restarts at
+// zero, so a reused index assigns the same seq values — hence the same
+// specific-vs-wildcard tie-breaks — as a fresh one. Clearing is
+// order-insensitive, so iterating the map here cannot perturb a run.
+func (ix *postIndex) reset() {
+	//lint:ignore determinism clearing every queue is order-insensitive
+	for _, q := range ix.specific {
+		q.drop()
+	}
+	for i := range ix.wild {
+		ix.wild[i] = nil
+	}
+	ix.wild = ix.wild[:0]
+	ix.nextSeq = 0
+	ix.count = 0
 }
 
 // match removes and returns the oldest posted receive env satisfies, or nil.
@@ -156,6 +185,26 @@ func (ix *envIndex) add(env *envelope) {
 	}
 	ix.tail = env
 	ix.count++
+}
+
+// reset clears the index for world reuse, keeping drained per-key FIFOs
+// warm. Entries still linked (sends never received) are dropped; their
+// records are surrendered to the garbage collector rather than a pool, as a
+// reset between runs is far off any hot path.
+func (ix *envIndex) reset() {
+	//lint:ignore determinism clearing every queue is order-insensitive
+	for _, q := range ix.specific {
+		q.drop()
+	}
+	// Unlink the arrival list so dropped envelopes do not chain to each
+	// other (next/prev are reused when a record is pooled).
+	for env := ix.head; env != nil; {
+		next := env.next
+		env.prev, env.next = nil, nil
+		env = next
+	}
+	ix.head, ix.tail = nil, nil
+	ix.count = 0
 }
 
 // match removes and returns the oldest unexpected envelope po satisfies, or

@@ -1,18 +1,5 @@
 package mpi
 
-import "hierknem/internal/buffer"
-
-// theEmptyBuf is the shared zero-byte phantom for control messages. One
-// buffer (one identity) suffices: zero-byte transfers never read data, their
-// CopyFrom is a no-op, and a zero-byte Touch neither uses cache capacity nor
-// perturbs the eviction order of real entries. Barriers issue one such
-// buffer per rank per round, so minting fresh identities was a measurable
-// allocation source.
-var theEmptyBuf = buffer.NewPhantom(0)
-
-// emptyBuf returns the shared zero-byte phantom buffer for control messages.
-func emptyBuf() *buffer.Buffer { return theEmptyBuf }
-
 // CeilDiv returns ceil(a/b) for positive b.
 func CeilDiv(a, b int64) int64 {
 	if b <= 0 {

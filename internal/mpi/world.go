@@ -77,6 +77,15 @@ type World struct {
 	worldComm *Comm
 	netPaths  map[uint64][]*fabric.Resource // shared read-only inter-node paths, keyed src*np+dst
 
+	// empty is this world's zero-byte phantom for control messages. One
+	// buffer (one identity) per world suffices: zero-byte transfers never
+	// read data, their CopyFrom is a no-op, and a zero-byte Touch neither
+	// uses cache capacity nor perturbs the eviction order of real entries.
+	// Barriers issue one such buffer per rank per round, so minting fresh
+	// identities was a measurable allocation source. Per-world rather than
+	// package-level so concurrently running worlds share no pointers.
+	empty *buffer.Buffer
+
 	// BytesCross counts payload bytes sent over inter-node links, a
 	// cheap cross-check for algorithm traffic volume.
 	BytesCross int64
@@ -108,12 +117,38 @@ func NewWorld(m *topology.Machine, b *topology.Binding, conf Config) (*World, er
 		Binding: b,
 		Conf:    conf.withDefaults(&m.Spec),
 		Knem:    knem.Devices(m),
+		empty:   buffer.NewPhantom(0),
 	}
 	w.procs = make([]*Proc, b.NP())
 	for r := range w.procs {
 		w.procs[r] = &Proc{world: w, rank: r, name: fmt.Sprintf("rank%d", r), core: b.Core(m, r)}
 	}
 	return w, nil
+}
+
+// Reset returns the world to its pristine post-NewWorld state so a
+// consecutive same-spec run can reuse the whole arena: the machine (engine
+// event pool, fabric resources and flow pool, L3 trackers), the KNEM
+// devices, the per-rank envelope/posting pools and matching-index FIFOs,
+// and the inter-node path cache (pure topology, unchanged by runs) all stay
+// warm. Everything observable restarts from zero — virtual clock, event
+// sequence numbers, context ids, matching order counters, traffic integrals
+// — so a reset world replays a program bit-identically to a fresh world on
+// a fresh machine. Reset panics (via the engine and fabric) if a run is
+// still in progress.
+func (w *World) Reset() {
+	w.Machine.Reset()
+	for _, d := range w.Knem {
+		d.Reset()
+	}
+	for _, p := range w.procs {
+		p.dp = nil
+		p.posted.reset()
+		p.unexpected.reset()
+	}
+	w.nextCtx = 0
+	w.worldComm = nil
+	w.BytesCross = 0
 }
 
 // Run executes body as an SPMD program on every rank and drives the engine

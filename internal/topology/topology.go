@@ -155,6 +155,26 @@ func Build(spec Spec) (*Machine, error) {
 	return m, nil
 }
 
+// Reset returns the machine to its pristine post-Build state for reuse by a
+// consecutive same-spec run: the engine clock and queues, the fabric's
+// counters and resource integrals, and every socket's L3 residency tracker
+// are cleared, while the built structure — nodes, sockets, cores, fabric
+// resources — and all warm pools survive. Buffer ids are process-globally
+// unique and new buffers start cold, so clearing residency reproduces a
+// fresh machine's cache behavior exactly.
+func (m *Machine) Reset() {
+	m.Eng.Reset()
+	m.Fab.Reset()
+	for _, node := range m.Nodes {
+		for _, sock := range node.Sockets {
+			c := sock.l3
+			c.used = 0
+			clear(c.resident)
+			c.order = c.order[:0]
+		}
+	}
+}
+
 // Core returns the core with global id gid.
 func (m *Machine) Core(gid int) *Core {
 	if gid < 0 || gid >= len(m.cores) {

@@ -1,0 +1,153 @@
+// Run isolation: a simulation must behave bit-identically no matter how
+// many sibling simulations run on other goroutines and no matter whether
+// its world is freshly built or reused through World.Reset. These are the
+// invariants the parallel sweep runner (internal/sweep) rests on; under
+// `go test -race` the parallel test doubles as a data-race probe over the
+// whole engine/mpi/fabric stack.
+package hierknem_test
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"hierknem"
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/des"
+	"hierknem/internal/mpi"
+)
+
+// hexTime renders a virtual time exactly (hex mantissa), so string equality
+// of logs is bit equality of the times.
+func hexTime(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+
+const isoPPN = 4
+
+func isoSpec() hierknem.Spec { return hierknem.Stremi(3) }
+
+func isoWorld(t testing.TB) *hierknem.World {
+	t.Helper()
+	w, err := hierknem.NewWorldPPN(isoSpec(), isoPPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// runLogged executes a bcast + barrier + reduce program on w and returns
+// the event log: each rank's hex-exact completion instant of both phases,
+// plus the engine's final clock and processed-event count. Appends happen
+// from rank bodies of one engine — cooperatively scheduled, never
+// concurrent.
+func runLogged(t testing.TB, w *hierknem.World) []string {
+	t.Helper()
+	spec := isoSpec()
+	mod := hierknem.ForCluster(&spec)
+	np := w.Size()
+	bufs := make([]*buffer.Buffer, np)
+	sbufs := make([]*buffer.Buffer, np)
+	rbufs := make([]*buffer.Buffer, np)
+	for i := range bufs {
+		bufs[i] = buffer.NewPhantom(96 << 10)
+		sbufs[i] = buffer.NewPhantom(32 << 10)
+		rbufs[i] = buffer.NewPhantom(32 << 10)
+	}
+	log := make([]string, 0, 2*np+1)
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		me := c.Rank(p)
+		mod.Bcast(p, c, bufs[me], 0)
+		log = append(log, fmt.Sprintf("bcast r%d %s", me, hexTime(p.Now())))
+		c.Barrier(p)
+		a := coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Float64}
+		mod.Reduce(p, c, a, sbufs[me], rbufs[me], 0)
+		log = append(log, fmt.Sprintf("reduce r%d %s", me, hexTime(p.Now())))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log = append(log, fmt.Sprintf("final %s %d", hexTime(w.Now()), w.Machine.Eng.Processed()))
+	return log
+}
+
+func diffLogs(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: log length %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: log entry %d differs:\n  want %s\n  got  %s", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestParallelRunsBitIdentical runs the same simulation on 8 concurrent
+// goroutines — each with its own world, as sweep workers do — and requires
+// every event log to match the serial reference bit for bit. Engine host
+// pinning is suspended exactly as the sweep runner suspends it.
+func TestParallelRunsBitIdentical(t *testing.T) {
+	want := runLogged(t, isoWorld(t))
+
+	const runs = 8
+	defer des.SetHostPinning(des.SetHostPinning(false))
+	logs := make([][]string, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			logs[i] = runLogged(t, isoWorld(t))
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range logs {
+		diffLogs(t, fmt.Sprintf("parallel run %d", i), want, got)
+	}
+}
+
+// TestWorldResetReplaysBitIdentical reruns the program on a Reset world and
+// requires the hex-exact log of the fresh run — the invariant that lets
+// sweep workers substitute a reused arena for a fresh build.
+func TestWorldResetReplaysBitIdentical(t *testing.T) {
+	w := isoWorld(t)
+	want := runLogged(t, w)
+	for i := 0; i < 3; i++ {
+		w.Reset()
+		diffLogs(t, fmt.Sprintf("reset replay %d", i), want, runLogged(t, w))
+	}
+}
+
+// TestWorldResetAllocsLessThanRebuild pins the point of reuse: a Reset+run
+// must allocate strictly less than a rebuild+run, because the engine event
+// pool, fabric flow pool, matching FIFOs and envelope pools all stay warm.
+func TestWorldResetAllocsLessThanRebuild(t *testing.T) {
+	mallocs := func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.Mallocs
+	}
+	// Warm both paths once so one-time lazy initialization is excluded.
+	w := isoWorld(t)
+	runLogged(t, w)
+	w.Reset()
+	runLogged(t, w)
+
+	start := mallocs()
+	fresh := isoWorld(t)
+	runLogged(t, fresh)
+	rebuild := mallocs() - start
+
+	start = mallocs()
+	w.Reset()
+	runLogged(t, w)
+	reused := mallocs() - start
+
+	if reused >= rebuild {
+		t.Fatalf("reset+run allocated %d objects, rebuild+run %d; reuse must be strictly cheaper", reused, rebuild)
+	}
+	t.Logf("allocs: rebuild+run %d, reset+run %d (%.1fx fewer)", rebuild, reused, float64(rebuild)/float64(reused))
+}

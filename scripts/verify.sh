@@ -4,11 +4,14 @@
 #   build     every package compiles
 #   vet       the stock Go analyzers
 #   hierlint  the simulator-invariant analyzers (cmd/hierlint):
-#             determinism, requesthygiene, errcheck, bufferescape
+#             determinism, requesthygiene, errcheck, bufferescape,
+#             runisolation
 #   test      the full suite under the race detector
 #   fuzz      10s FuzzMatch smoke over the p2p matching machinery
-#   bench     the fabric-allocator harness (scripts/bench.sh), enforcing
-#             the >=2x resource-visit criterion on the Fig3a sweep
+#   bench     the perf harness (scripts/bench.sh): DES hot-path suite vs
+#             checked-in baseline, fabric-allocator >=2x resource-visit
+#             criterion, and the parallel sweep gate (byte-identical
+#             serial/parallel stdout; >=3x speedup on >=4-core hosts)
 #
 # Run from anywhere; it anchors itself at the repo root.
 set -euo pipefail
@@ -29,7 +32,7 @@ go test -race ./...
 echo "==> fuzz smoke (FuzzMatch, 10s)"
 go test ./internal/mpi -run '^$' -fuzz '^FuzzMatch$' -fuzztime 10s
 
-echo "==> bench (fabric allocator)"
+echo "==> bench (DES hot path + fabric allocator + parallel sweep)"
 scripts/bench.sh
 
 echo "verify: all gates passed"

@@ -1,8 +1,10 @@
 // Command hierlint runs the simulator's custom static-analysis suite
 // (internal/lint) over Go packages and reports invariant violations:
 // wall-clock time or unseeded randomness inside internal/, leaked
-// Isend/Irecv requests, discarded module-API errors, and payload buffers
-// shared with unsynchronized goroutines.
+// Isend/Irecv requests, discarded module-API errors, payload buffers
+// shared with unsynchronized goroutines, free-list allocations that never
+// reach a release, and point-to-point tags outside their algorithm's
+// reserved range.
 //
 // Usage:
 //
@@ -65,15 +67,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
+	// Collect across all packages, then sort once so the report order is
+	// deterministic regardless of load interleaving: CI diffs stay stable.
+	var diags []lint.Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range lint.Run(pkg, analyzers) {
-			found++
-			fmt.Println(relativize(cwd, d))
-		}
+		diags = append(diags, lint.Run(pkg, analyzers)...)
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "hierlint: %d finding(s)\n", found)
+	lint.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Println(relativize(cwd, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hierlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -34,6 +34,8 @@ import (
 	"runtime"
 	"sort"
 	"sync/atomic"
+
+	"hierknem/internal/san"
 )
 
 // hostPinning gates the GOMAXPROCS(1) pinning in Run. Pinning is a
@@ -79,6 +81,11 @@ type Engine struct {
 	// MaxTime aborts Run once the virtual clock passes this horizon.
 	// Zero means no horizon.
 	MaxTime float64
+
+	// san, when non-nil, receives pool-provenance and sync-edge hooks
+	// (hiersan). Every hook site is nil-guarded so the disabled hot path
+	// pays one predictable branch and zero allocations.
+	san *san.Sanitizer
 }
 
 // New returns an empty engine with the virtual clock at zero.
@@ -88,6 +95,12 @@ func New() *Engine {
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// SetSanitizer attaches (or, with nil, detaches) a hiersan runtime. The
+// sanitizer observes event-record recycling and Wake synchronization edges;
+// it schedules nothing, so an instrumented run stays event-for-event
+// identical to a bare one.
+func (e *Engine) SetSanitizer(s *san.Sanitizer) { e.san = s }
 
 // event is one scheduled occurrence. Exactly one of fn (callback event) and
 // proc (typed resume event) is set while queued; both are nil once the event
@@ -125,12 +138,20 @@ func (e *Engine) alloc(at float64) *event {
 	ev.at = at
 	ev.seq = e.seq
 	e.seq++
+	if e.san != nil {
+		e.san.PoolAlloc(san.KindEvent, ev, "")
+	}
 	return ev
 }
 
 // release clears an event record and returns it to the free list. The
 // generation bump invalidates any Timer handle still pointing here.
 func (e *Engine) release(ev *event) {
+	if e.san != nil {
+		// Before the wipe, so a double release reports the record's
+		// original generation and release time.
+		e.san.PoolRelease(san.KindEvent, ev, "")
+	}
 	ev.fn = nil
 	ev.proc = nil
 	ev.gen++
@@ -391,6 +412,16 @@ func (p *Proc) Wake() {
 	if p.done || p.pendingWake {
 		return
 	}
+	if s := p.eng.san; s != nil {
+		// A direct wake from a running process is a virtual-time
+		// synchronization edge: the wakee resumes causally after the
+		// waker's instant. Wakes issued from event callbacks (current is
+		// nil there) are covered by the precise edges the mpi layer
+		// records at transfer completion.
+		if cur := p.eng.current; cur != nil && cur != p {
+			s.SyncEdge(cur.id, p.id)
+		}
+	}
 	p.pendingWake = true
 	if p.parkedFlag && p.wakeable {
 		p.eng.resumeEventFor(p, p.parkGen, p.eng.now)
@@ -503,6 +534,10 @@ func (e *Engine) dispatch(self *Proc, onMain bool) bool {
 		}
 		fn := ev.fn
 		e.release(ev)
+		// No process is executing during a callback; clear current so
+		// Wake's sanitizer edge cannot attribute the wake to whichever
+		// process happened to run last.
+		e.current = nil
 		fn()
 	}
 }
@@ -534,7 +569,21 @@ func (e *Engine) Reset() {
 	if e.alive > 0 {
 		panic(fmt.Sprintf("des: Reset with %d live process(es)", e.alive))
 	}
-	// Drain leftover events (possible after a MaxTime abort) into the pool.
+	e.drainPending()
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.procs = e.procs[:0]
+	e.current = nil
+	e.runErr = nil
+}
+
+// drainPending routes every still-queued event — leftovers after a MaxTime
+// abort, plus bucket entries cancelled in place — through release. Going
+// through release (never raw pool appends) keeps each record's generation
+// counter, and the attached sanitizer's provenance, at exactly one release
+// per allocation.
+func (e *Engine) drainPending() {
 	for _, ev := range e.queue {
 		e.release(ev)
 	}
@@ -547,12 +596,6 @@ func (e *Engine) Reset() {
 	e.bucket = e.bucket[:0]
 	e.bucketPos = 0
 	e.bucketLive = 0
-	e.now = 0
-	e.seq = 0
-	e.processed = 0
-	e.procs = e.procs[:0]
-	e.current = nil
-	e.runErr = nil
 }
 
 // Pending returns the number of events currently scheduled. Cancelled

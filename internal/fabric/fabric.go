@@ -59,6 +59,7 @@ import (
 	"sort"
 
 	"hierknem/internal/des"
+	"hierknem/internal/san"
 )
 
 // Resource is a capacity-limited transport element (link direction, NIC
@@ -216,6 +217,10 @@ type Net struct {
 	flowPool []*Flow // recycled pooled records (see Flow.pooled)
 	finScr   []*Flow // onCompletionTimer scratch, reused across firings
 
+	// san, when non-nil, tracks pooled flow records (hiersan). Nil-guarded
+	// at every hook so the disabled hot path stays allocation-free.
+	san *san.Sanitizer
+
 	// Overlap accounting: virtual time during which at least one flow of
 	// a class was active, and during which two classes were concurrently
 	// active (key "a|b" with a < b). This is how experiments quantify the
@@ -243,6 +248,10 @@ func NewNet(eng *des.Engine) *Net {
 	}
 	return n
 }
+
+// SetSanitizer attaches (or, with nil, detaches) a hiersan runtime that
+// audits the pooled flow free list.
+func (n *Net) SetSanitizer(s *san.Sanitizer) { n.san = s }
 
 // SetMode selects the recompute mode; the next sync applies it.
 func (n *Net) SetMode(m Mode) { n.mode = m }
@@ -410,20 +419,27 @@ func (n *Net) install(f *Flow) {
 // only reachable through the void-returning StartAfter entry points, so no
 // caller can hold a reference past completion.
 func (n *Net) allocFlow() *Flow {
+	var f *Flow
 	if k := len(n.flowPool) - 1; k >= 0 {
-		f := n.flowPool[k]
+		f = n.flowPool[k]
 		n.flowPool[k] = nil
 		n.flowPool = n.flowPool[:k]
-		return f
+	} else {
+		f = &Flow{owner: n, cidx: -1, pooled: true}
+		f.installFn = func() { n.install(f) }
 	}
-	f := &Flow{owner: n, cidx: -1, pooled: true}
-	f.installFn = func() { n.install(f) }
+	if n.san != nil {
+		n.san.PoolAlloc(san.KindFlow, f, "")
+	}
 	return f
 }
 
 // recycleFlow returns a pooled record to the free list, clearing references
 // so recycled flows do not pin paths or callbacks.
 func (n *Net) recycleFlow(f *Flow) {
+	if n.san != nil {
+		n.san.PoolRelease(san.KindFlow, f, "")
+	}
 	f.Path = nil
 	f.pathBuf = [2]*Resource{}
 	f.Class = ""

@@ -15,6 +15,7 @@ import (
 
 	"hierknem/internal/buffer"
 	"hierknem/internal/des"
+	"hierknem/internal/san"
 	"hierknem/internal/shm"
 	"hierknem/internal/topology"
 )
@@ -54,6 +55,11 @@ type Device struct {
 	regions map[Cookie]*region
 	next    Cookie
 	stats   Stats
+
+	// san, when non-nil, receives buffer access windows for every Get/Put
+	// (hiersan's single-copy overlap check). Nil-guarded: a disabled
+	// device adds no work to the copy path.
+	san *san.Sanitizer
 }
 
 // NewDevice creates the device for node nodeID of m.
@@ -63,6 +69,10 @@ func NewDevice(m *topology.Machine, nodeID int) *Device {
 
 // NodeID returns the node this device serves.
 func (d *Device) NodeID() int { return d.nodeID }
+
+// SetSanitizer attaches (or, with nil, detaches) a hiersan runtime that
+// checks Get/Put copies for virtual-time buffer conflicts.
+func (d *Device) SetSanitizer(s *san.Sanitizer) { d.san = s }
 
 // Reset drops all registrations and counters, returning the device to its
 // post-NewDevice state for reuse by a consecutive run on the same machine.
@@ -141,7 +151,18 @@ func (d *Device) Get(p *des.Proc, requester *topology.Core, ck Cookie, off int64
 		return fmt.Errorf("knem: get [%d:%d] outside region of %d bytes", off, off+dst.Len(), reg.buf.Len())
 	}
 	src := reg.buf.Slice(off, dst.Len())
+	hr, hw := -1, -1
+	if d.san != nil {
+		// Both windows belong to the requester: the copy is one-sided,
+		// executed entirely by the requesting core.
+		hr = d.san.BeginAccess(p.ID(), p.Name(), src.ID(), src.Off(), src.Len(), false)
+		hw = d.san.BeginAccess(p.ID(), p.Name(), dst.ID(), dst.Off(), dst.Len(), true)
+	}
 	shm.CopyBuffer(p, d.machine, requester, reg.owner.Socket, requester.Socket, src, dst)
+	if d.san != nil {
+		d.san.EndAccess(hr)
+		d.san.EndAccess(hw)
+	}
 	d.stats.Gets++
 	d.stats.BytesCopied += dst.Len()
 	return nil
@@ -158,7 +179,16 @@ func (d *Device) Put(p *des.Proc, requester *topology.Core, ck Cookie, off int64
 		return fmt.Errorf("knem: put [%d:%d] outside region of %d bytes", off, off+src.Len(), reg.buf.Len())
 	}
 	dst := reg.buf.Slice(off, src.Len())
+	hr, hw := -1, -1
+	if d.san != nil {
+		hr = d.san.BeginAccess(p.ID(), p.Name(), src.ID(), src.Off(), src.Len(), false)
+		hw = d.san.BeginAccess(p.ID(), p.Name(), dst.ID(), dst.Off(), dst.Len(), true)
+	}
 	shm.CopyBuffer(p, d.machine, requester, requester.Socket, reg.owner.Socket, src, dst)
+	if d.san != nil {
+		d.san.EndAccess(hr)
+		d.san.EndAccess(hw)
+	}
 	d.stats.Puts++
 	d.stats.BytesCopied += src.Len()
 	return nil

@@ -22,7 +22,9 @@
 //	//lint:ignore <analyzer> <reason>
 //
 // which silences that analyzer on the directive's own line and on the line
-// immediately below it. See docs/STATIC_ANALYSIS.md for the catalogue.
+// immediately below it. The reason is mandatory: a directive that does not
+// say why the finding is safe suppresses nothing and is itself reported.
+// See docs/STATIC_ANALYSIS.md for the catalogue.
 package lint
 
 import (
@@ -89,6 +91,8 @@ var Analyzers = []*Analyzer{
 	ErrcheckAnalyzer,
 	BufferEscapeAnalyzer,
 	RunIsolationAnalyzer,
+	PoolReturnAnalyzer,
+	TagSpaceAnalyzer,
 }
 
 // ByName returns the registered analyzer with that name, or nil.
@@ -108,7 +112,9 @@ func internalOnly(pkgPath string) bool {
 }
 
 // Run applies each analyzer in as to pkg and returns the surviving
-// diagnostics sorted by position.
+// diagnostics in deterministic order (see SortDiagnostics), with one
+// "lint"-analyzer finding appended for every malformed //lint:ignore
+// directive in the package.
 func Run(pkg *Package, as []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range as {
@@ -118,7 +124,23 @@ func Run(pkg *Package, as []*Analyzer) []Diagnostic {
 		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 		a.Run(pass)
 	}
-	diags = suppress(pkg, diags)
+	dir := parseDirectives(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !dir.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	kept = append(kept, dir.malformed...)
+	SortDiagnostics(kept)
+	return kept
+}
+
+// SortDiagnostics orders findings by (file, line, analyzer, column, message)
+// so hierlint's output is byte-stable across runs regardless of analyzer
+// registration order or package load interleaving. The CLI applies it once
+// more across all packages before printing.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -127,59 +149,14 @@ func Run(pkg *Package, as []*Analyzer) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		return a.Message < b.Message
 	})
-	return diags
-}
-
-// ignoreDirective is the comment prefix that suppresses a finding.
-const ignoreDirective = "//lint:ignore "
-
-// suppress drops diagnostics covered by //lint:ignore directives. A
-// directive names one analyzer (or "all") and covers its own line plus the
-// next line, so both trailing and preceding placement work.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	type key struct {
-		file string
-		line int
-	}
-	ignored := map[key]map[string]bool{} // -> analyzer set ("all" wildcard)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignoreDirective) {
-					continue
-				}
-				fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreDirective))
-				if len(fields) == 0 {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					k := key{pos.Filename, line}
-					if ignored[k] == nil {
-						ignored[k] = map[string]bool{}
-					}
-					ignored[k][fields[0]] = true
-				}
-			}
-		}
-	}
-	if len(ignored) == 0 {
-		return diags
-	}
-	kept := diags[:0]
-	for _, d := range diags {
-		set := ignored[key{d.Pos.Filename, d.Pos.Line}]
-		if set != nil && (set[d.Analyzer] || set["all"]) {
-			continue
-		}
-		kept = append(kept, d)
-	}
-	return kept
 }
 
 // pkgPathOf returns the import path of the package an object belongs to, or

@@ -40,7 +40,7 @@ func TestCleanFixture(t *testing.T) {
 
 // TestByName covers registry lookup.
 func TestByName(t *testing.T) {
-	for _, name := range []string{"determinism", "requesthygiene", "errcheck", "bufferescape", "runisolation"} {
+	for _, name := range []string{"determinism", "requesthygiene", "errcheck", "bufferescape", "runisolation", "poolreturn", "tagspace"} {
 		if lint.ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil, want analyzer", name)
 		}
@@ -116,6 +116,84 @@ func collectWants(t *testing.T, pkg *lint.Package) []*expectation {
 		}
 	}
 	return wants
+}
+
+// TestSuppressionReasonRequired pins the directive contract: a reasonless
+// //lint:ignore suppresses nothing (the underlying finding survives) and is
+// itself reported as a malformed directive, while a well-formed one still
+// silences its line.
+func TestSuppressionReasonRequired(t *testing.T) {
+	pkgs, err := lint.Load(".", "./testdata/ignorereason")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Run(pkgs[0], []*lint.Analyzer{lint.ByName("determinism")})
+
+	var malformed, determinism []lint.Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			malformed = append(malformed, d)
+		case "determinism":
+			determinism = append(determinism, d)
+		default:
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	// Two malformed directives: the reasonless one and the bare one.
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed-directive findings, want 2: %v", len(malformed), diags)
+	}
+	if !strings.Contains(malformed[0].Message, "missing analyzer name and reason") &&
+		!strings.Contains(malformed[1].Message, "missing analyzer name and reason") {
+		t.Errorf("no finding mentions the bare directive: %v", malformed)
+	}
+	found := false
+	for _, d := range malformed {
+		if strings.Contains(d.Message, "without a reason suppresses nothing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no finding rejects the reasonless directive: %v", malformed)
+	}
+	// Two determinism findings survive (reasonless + bare lines); the
+	// well-formed suppression in excused() removes the third.
+	if len(determinism) != 2 {
+		t.Fatalf("got %d determinism findings, want 2 (reasonless directives must not suppress): %v", len(determinism), diags)
+	}
+}
+
+// TestSortDiagnostics pins the report ordering: (file, line, analyzer,
+// column, message), so hierlint output is byte-stable across runs.
+func TestSortDiagnostics(t *testing.T) {
+	mk := func(file string, line, col int, an, msg string) lint.Diagnostic {
+		d := lint.Diagnostic{Analyzer: an, Message: msg}
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column = file, line, col
+		return d
+	}
+	in := []lint.Diagnostic{
+		mk("b.go", 1, 1, "determinism", "z"),
+		mk("a.go", 9, 2, "tagspace", "m"),
+		mk("a.go", 9, 1, "poolreturn", "m"),
+		mk("a.go", 9, 2, "poolreturn", "b"),
+		mk("a.go", 9, 2, "poolreturn", "a"),
+		mk("a.go", 3, 7, "errcheck", "x"),
+	}
+	lint.SortDiagnostics(in)
+	want := []string{
+		"a.go:3:7: [errcheck] x",
+		"a.go:9:1: [poolreturn] m",
+		"a.go:9:2: [poolreturn] a",
+		"a.go:9:2: [poolreturn] b",
+		"a.go:9:2: [tagspace] m",
+		"b.go:1:1: [determinism] z",
+	}
+	for i, d := range in {
+		if d.String() != want[i] {
+			t.Errorf("position %d: got %s, want %s", i, d.String(), want[i])
+		}
+	}
 }
 
 // TestDiagnosticString pins the CLI output format

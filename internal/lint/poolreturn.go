@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolReturnAnalyzer guards the simulator's free-list discipline. The hot
+// layers (des events, mpi envelopes/postings, fabric flows) recycle records
+// through explicit alloc/release pairs instead of the garbage collector;
+// an allocation that never reaches a release is a slow pool leak that erodes
+// the zero-alloc steady state, and a reference used after its release is the
+// exact aliasing bug hiersan's pool-provenance checker catches at run time —
+// this analyzer catches the locally-decidable cases at analysis time.
+//
+// For every call to an in-module `alloc*` function returning a pointer:
+//
+//  1. Result discarded as a bare statement — the record can never be
+//     released back to its free list.
+//
+//  2. Result assigned to blank (_) — same leak, spelled explicitly.
+//
+//  3. Result bound to a variable that is never consumed. Writing the
+//     record's own fields (r.x = v) and reassigning the variable do not
+//     count: a record that is only initialized but never released, stored,
+//     passed or returned is still leaked.
+//
+// And for each release of a tracked variable — r.release(), release(r), or
+// recycle*(r) — any later use of the variable in the same statement list
+// (before a reassignment) is flagged: the record may already be re-issued
+// to another caller.
+//
+// The analysis is conservative: passing the record to any call, storing it
+// anywhere, or returning it counts as a hand-off that transfers the release
+// obligation.
+var PoolReturnAnalyzer = &Analyzer{
+	Name:    "poolreturn",
+	Doc:     "flag pooled alloc* results that never reach a release, and uses after release",
+	Applies: internalOnly,
+	Run:     runPoolReturn,
+}
+
+// isPoolAlloc reports whether call invokes an in-module function or method
+// named alloc* whose first result is a pointer — the free-list allocation
+// shape used by des, mpi and fabric.
+func isPoolAlloc(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	if !strings.HasPrefix(fn.Name(), "alloc") {
+		return nil, false
+	}
+	if !strings.HasPrefix(pkgPathOf(fn), "hierknem") {
+		return nil, false
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return nil, false
+	}
+	if _, ok := res.At(0).Type().Underlying().(*types.Pointer); !ok {
+		return nil, false
+	}
+	return fn, true
+}
+
+// isReleaseOf reports whether call releases the record held by obj: either a
+// method call obj.release(), or any call named exactly "release" or prefixed
+// "recycle" that takes obj as an argument.
+func isReleaseOf(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Name() != "release" && !strings.HasPrefix(fn.Name(), "recycle") {
+		return false
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == obj {
+			return true // obj.release()
+		}
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == obj {
+			return true // release(obj) / pool.release(obj) / recycleX(obj)
+		}
+	}
+	return false
+}
+
+func runPoolReturn(pass *Pass) {
+	info := pass.Info()
+	for _, f := range pass.Files() {
+		for _, fd := range funcBodies(f) {
+			checkPoolReturns(pass, info, fd)
+		}
+	}
+}
+
+func checkPoolReturns(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Pass 1: classify each alloc* call by how its result is received.
+	type tracked struct {
+		obj  types.Object
+		call *ast.CallExpr
+		name string // the alloc function's name
+	}
+	var vars []tracked
+
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := isPoolAlloc(info, call)
+		if !ok || len(stack) == 0 {
+			return true
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "pooled %s result discarded: the record can never be released back to its free list", fn.Name())
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if rhs != call || i >= len(parent.Lhs) {
+					continue
+				}
+				lhs, ok := parent.Lhs[i].(*ast.Ident)
+				if !ok {
+					break // field/index store: the record escapes, hand-off assumed
+				}
+				if lhs.Name == "_" {
+					pass.Reportf(call.Pos(), "pooled %s result assigned to blank: the record can never be released back to its free list", fn.Name())
+					break
+				}
+				if obj := info.ObjectOf(lhs); obj != nil {
+					vars = append(vars, tracked{obj: obj, call: call, name: fn.Name()})
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: audit each tracked variable. A use is a consumption unless it
+	// is a reassignment target or a write to one of the record's own fields.
+	for _, t := range vars {
+		consumed := false
+		var releases []*ast.CallExpr
+		inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isReleaseOf(info, call, t.obj) {
+				releases = append(releases, call)
+				consumed = true
+				return true
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || info.Uses[id] != t.obj {
+				return true
+			}
+			if isAssignLHS(id, stack) || isOwnFieldWrite(id, stack) {
+				return true
+			}
+			consumed = true
+			return true
+		})
+		if !consumed {
+			pass.Reportf(t.call.Pos(), "pooled record from %s bound to %s but never released or handed off: free-list leak", t.name, t.obj.Name())
+			continue
+		}
+		for _, rel := range releases {
+			checkUseAfterRelease(pass, info, fd, t.obj, rel)
+		}
+	}
+}
+
+// isOwnFieldWrite reports whether id is the base of a field write like
+// id.field = v — initialization of the record, not a hand-off.
+func isOwnFieldWrite(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || ast.Unparen(sel.X) != ast.Expr(id) {
+		return false
+	}
+	as, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if lhs == ast.Expr(sel) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkUseAfterRelease scans the statement list containing the release call
+// for later uses of obj, stopping at a reassignment (the variable then holds
+// a fresh record).
+func checkUseAfterRelease(pass *Pass, info *types.Info, fd *ast.FuncDecl, obj types.Object, rel *ast.CallExpr) {
+	// Find the innermost block and the index of the statement holding rel.
+	var block *ast.BlockStmt
+	idx := -1
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		b, ok := n.(*ast.BlockStmt)
+		if !ok || !within(b, rel) {
+			return true
+		}
+		for i, st := range b.List {
+			if within(st, rel) {
+				block, idx = b, i // keep narrowing: innermost block wins
+				break
+			}
+		}
+		return true
+	})
+	if block == nil {
+		return
+	}
+	for _, st := range block.List[idx+1:] {
+		if reassigns(info, st, obj) {
+			return
+		}
+		var after *ast.Ident
+		ast.Inspect(st, func(n ast.Node) bool {
+			if after != nil {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				after = id
+			}
+			return after == nil
+		})
+		if after != nil {
+			pass.Reportf(after.Pos(), "use of %s after release: the record may already be recycled to another caller", obj.Name())
+			return
+		}
+	}
+}
+
+// reassigns reports whether the statement (at its top level) assigns a fresh
+// value to obj.
+func reassigns(info *types.Info, st ast.Stmt, obj types.Object) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// TagSpaceAnalyzer enforces the simulator's tag-space partitioning. Each
+// algorithm layer reserves a power-of-two base (collTag = 1<<22 for the
+// collective library, hkTag = 1<<21 for the HierKNEM core, and so on) and
+// must draw every point-to-point tag from [base, 2*base): the partition is
+// what keeps a pipelined broadcast's segment tags from matching a
+// concurrently running reduce's chain tags on the same communicator. A tag
+// invented outside the reserved range — a bare literal, or arithmetic from
+// nothing — reintroduces exactly the cross-algorithm mismatch the bases
+// exist to prevent, and it fails as a once-in-a-sweep wrong-payload, not a
+// crash.
+//
+// Two checks:
+//
+//  1. Every tag argument of Isend/Irecv/Send/Recv/SendRecv on mpi.Proc must
+//     be derived from a reserved base: a constant in some base's [b, 2b)
+//     range, an expression referencing a base constant, or a local variable
+//     assigned from one. mpi.AnyTag (-1) is exempt. Parameters are trusted —
+//     the caller is checked at its own site.
+//
+//  2. Tag-named package-level constants must have pairwise-distinct values;
+//     two algorithms declaring the same base silently share a tag space.
+//
+// A base is a constant whose name starts with "tag" or contains "Tag" and
+// whose value is a power of two >= 1<<16 (below that sits application tag
+// space). Scoped to the algorithm packages; the mpi runtime's own internals
+// are out of scope.
+var TagSpaceAnalyzer = &Analyzer{
+	Name:    "tagspace",
+	Doc:     "enforce per-algorithm reserved tag ranges and distinct tag constants",
+	Applies: tagSpaceApplies,
+	Run:     runTagSpace,
+}
+
+func tagSpaceApplies(pkgPath string) bool {
+	for _, p := range []string{"internal/coll", "internal/core", "internal/modules", "internal/hier"} {
+		if strings.HasSuffix(pkgPath, p) {
+			return true
+		}
+	}
+	return strings.HasSuffix(pkgPath, "testdata/tagspace")
+}
+
+// tagNamed is the base-name predicate. Deliberately prefix/camel-case:
+// a case-insensitive substring match would catch "stage" and "vantage".
+func tagNamed(name string) bool {
+	return strings.HasPrefix(name, "tag") || strings.Contains(name, "Tag")
+}
+
+// tagConst is one tag-named constant declaration, in source order.
+type tagConst struct {
+	obj  *types.Const
+	name string
+	val  int64
+	id   *ast.Ident
+}
+
+// tagConsts walks the package's const declarations (package-level and
+// function-local) in file order, collecting tag-named integer constants.
+// AST order, not a Defs map range, so diagnostics stay deterministic.
+func tagConsts(pass *Pass) []tagConst {
+	info := pass.Info()
+	var out []tagConst
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := info.Defs[name].(*types.Const)
+					if !ok || !tagNamed(c.Name()) {
+						continue
+					}
+					if v, exact := constant.Int64Val(constant.ToInt(c.Val())); exact {
+						out = append(out, tagConst{obj: c, name: c.Name(), val: v, id: name})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isTagBase reports whether a constant qualifies as a reserved base:
+// power of two, at or above 1<<16.
+func isTagBase(v int64) bool {
+	return v >= 1<<16 && v&(v-1) == 0
+}
+
+// inReservedRange reports whether v falls in some base's [b, 2b).
+func inReservedRange(v int64, bases []int64) bool {
+	for _, b := range bases {
+		if v >= b && v < 2*b {
+			return true
+		}
+	}
+	return false
+}
+
+// tagArgIndexes maps a p2p method name to the indexes of its tag arguments.
+func tagArgIndexes(name string) []int {
+	switch name {
+	case "Isend", "Irecv", "Send", "Recv":
+		return []int{3}
+	case "SendRecv":
+		return []int{3, 6}
+	}
+	return nil
+}
+
+func runTagSpace(pass *Pass) {
+	info := pass.Info()
+	consts := tagConsts(pass)
+
+	// Check 2: package-level tag constants must be pairwise distinct.
+	pkgScope := pass.Types().Scope()
+	var seen []tagConst
+	for _, c := range consts {
+		if c.obj.Parent() != pkgScope {
+			continue
+		}
+		for _, prev := range seen {
+			if prev.val == c.val {
+				pass.Reportf(c.id.Pos(), "tag constant %s duplicates value %d of %s: algorithm tag spaces must be distinct", c.name, c.val, prev.name)
+				break
+			}
+		}
+		seen = append(seen, c)
+	}
+
+	// The reserved bases visible anywhere in this package (local consts
+	// included: a function-scoped base reserves its range just as well).
+	var bases []int64
+	baseObjs := map[*types.Const]bool{}
+	for _, c := range consts {
+		if isTagBase(c.val) {
+			bases = append(bases, c.val)
+			baseObjs[c.obj] = true
+		}
+	}
+
+	// Check 1: every tag argument at every p2p call site.
+	for _, f := range pass.Files() {
+		for _, fd := range funcBodies(f) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := calleeObj(info, call).(*types.Func)
+				if !ok || !strings.HasSuffix(pkgPathOf(fn), "internal/mpi") {
+					return true
+				}
+				for _, idx := range tagArgIndexes(fn.Name()) {
+					if idx < len(call.Args) {
+						checkTagArg(pass, info, fd, bases, baseObjs, call.Args[idx])
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkTagArg validates one tag argument expression.
+func checkTagArg(pass *Pass, info *types.Info, fd *ast.FuncDecl, bases []int64, baseObjs map[*types.Const]bool, arg ast.Expr) {
+	// Constant-folded value: exact range check. AnyTag (-1) is exempt.
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			if v == -1 || inReservedRange(v, bases) {
+				return
+			}
+			pass.Reportf(arg.Pos(), "tag %d is outside every reserved tag range: draw tags from the algorithm's base constant", v)
+			return
+		}
+		return
+	}
+	// Expression referencing a base constant (collTag+int(i), hkTag+2000+s).
+	if refsTagBase(info, baseObjs, arg) {
+		return
+	}
+	// A lone variable: trace its assignments inside this function.
+	if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		derived, found := varDerivedFromBase(info, fd, v, bases, baseObjs)
+		if !found {
+			return // parameter, closure capture or range var: trust the producer
+		}
+		if !derived {
+			pass.Reportf(arg.Pos(), "tag variable %s is not derived from a reserved tag base", v.Name())
+		}
+		return
+	}
+	// Compound expression with no base reference: accept a tag-carrying
+	// variable inside it (tag+int(i), where tag is a trusted parameter or a
+	// base-derived local); offsets like the loop counter need no provenance.
+	ok := false
+	bad := ""
+	ast.Inspect(arg, func(n ast.Node) bool {
+		id, isID := n.(*ast.Ident)
+		if !isID {
+			return true
+		}
+		if v, isVar := info.Uses[id].(*types.Var); isVar && tagNamed(v.Name()) {
+			derived, found := varDerivedFromBase(info, fd, v, bases, baseObjs)
+			if !found || derived {
+				ok = true
+			} else if bad == "" {
+				bad = v.Name()
+			}
+		}
+		return true
+	})
+	if ok {
+		return
+	}
+	if bad != "" {
+		pass.Reportf(arg.Pos(), "tag variable %s is not derived from a reserved tag base", bad)
+		return
+	}
+	pass.Reportf(arg.Pos(), "tag expression does not reference any reserved tag base constant")
+}
+
+// refsTagBase reports whether expr mentions one of the package's reserved
+// base constants.
+func refsTagBase(info *types.Info, baseObjs map[*types.Const]bool, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if c, ok := info.Uses[id].(*types.Const); ok && baseObjs[c] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// varDerivedFromBase scans the function for assignments defining v. found
+// reports whether any defining assignment exists in fd at all; derived
+// reports whether every one of them draws from a reserved base (by value or
+// by reference).
+func varDerivedFromBase(info *types.Info, fd *ast.FuncDecl, v *types.Var, bases []int64, baseObjs map[*types.Const]bool) (derived, found bool) {
+	derived = true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || (info.Defs[id] != v && info.Uses[id] != v) {
+				continue
+			}
+			if i >= len(as.Rhs) {
+				continue // multi-value RHS (call/range): cannot trace, trust it
+			}
+			found = true
+			rhs := as.Rhs[i]
+			if tv, ok := info.Types[rhs]; ok && tv.Value != nil {
+				if val, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+					if val != -1 && !inReservedRange(val, bases) {
+						derived = false
+					}
+					continue
+				}
+			}
+			if !refsTagBase(info, baseObjs, rhs) {
+				derived = false
+			}
+		}
+		return true
+	})
+	if !found {
+		return false, false
+	}
+	return derived, true
+}

@@ -1,0 +1,24 @@
+// Package ignorereason exercises hierlint's directive enforcement: a
+// //lint:ignore without a reason (or without an analyzer name) suppresses
+// nothing and is itself reported, while a well-formed directive still
+// silences its line. Checked by a dedicated test, not the golden harness.
+package ignorereason
+
+import "time"
+
+// reasonless: the directive names the analyzer but gives no reason, so the
+// determinism finding on this line survives AND the directive is reported.
+func reasonless() {
+	time.Sleep(time.Millisecond) //lint:ignore determinism
+}
+
+// bare: no analyzer, no reason.
+func bare() {
+	//lint:ignore
+	time.Sleep(time.Millisecond)
+}
+
+// excused: a well-formed suppression still works.
+func excused() {
+	time.Sleep(time.Millisecond) //lint:ignore determinism fixture demonstrates a well-formed suppression
+}

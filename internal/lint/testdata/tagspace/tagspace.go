@@ -1,0 +1,66 @@
+// Package tagspace is a hierlint golden fixture for the tag-space analyzer:
+// point-to-point tags invented outside the algorithm's reserved range and
+// colliding tag-base constants, alongside correctly derived tags that must
+// not be flagged.
+package tagspace
+
+import (
+	"hierknem/internal/buffer"
+	"hierknem/internal/mpi"
+)
+
+// algTag is this fixture algorithm's reserved base: [1<<20, 1<<21).
+const algTag = 1 << 20
+
+const (
+	otherTag = 1 << 18
+	dupTag   = 1 << 18 // want `tag constant dupTag duplicates value 262144 of otherTag`
+)
+
+func inRange(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	p.Send(c, b, 1, algTag+3)
+	p.Recv(c, b, 1, algTag+3)
+}
+
+func wildcardOK(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	p.Recv(c, b, mpi.AnySource, mpi.AnyTag)
+}
+
+func bareLiteral(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	p.Send(c, b, 1, 7) // want `tag 7 is outside every reserved tag range`
+}
+
+func outOfRange(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer) {
+	p.Send(c, b, 1, algTag*2) // want `tag 2097152 is outside every reserved tag range`
+}
+
+// derived tags reference the base symbolically: exact values are not
+// constant-foldable but the provenance is.
+func derived(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer, s int) {
+	r := p.Irecv(c, b, 1, algTag+s)
+	tag := algTag + 2*s
+	p.Send(c, b, 1, tag)
+	p.Wait(r)
+}
+
+func underived(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer, s int) {
+	t := 3 * s
+	p.Send(c, b, 1, t) // want `tag variable t is not derived from a reserved tag base`
+}
+
+// viaParam trusts the caller: the parameter's producer is checked at its
+// own call site.
+func viaParam(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer, tag int) {
+	p.Send(c, b, 1, tag)
+}
+
+func sendrecv(p *mpi.Proc, c *mpi.Comm, sb, rb *buffer.Buffer) {
+	p.SendRecv(c, sb, 1, algTag+9, rb, 1, 5) // want `tag 5 is outside every reserved tag range`
+}
+
+// localBase reserves a range with a function-local constant, like the
+// mvapich2 module's leader ring.
+func localBase(p *mpi.Proc, c *mpi.Comm, b *buffer.Buffer, s int) {
+	const tagRing = 1 << 19
+	p.Send(c, b, 1, tagRing+s)
+}

@@ -15,6 +15,7 @@ package mpi
 type bbEntry struct {
 	val     any
 	present bool
+	poster  *Proc // last poster, for the sanitizer's sync edge
 	waiters []*Proc
 }
 
@@ -31,6 +32,7 @@ func (c *Comm) BBPost(p *Proc, key string, v any) {
 	}
 	e.val = v
 	e.present = true
+	e.poster = p
 	for _, w := range e.waiters {
 		w.dp.Wake()
 	}
@@ -50,6 +52,13 @@ func (c *Comm) BBWait(p *Proc, key string) any {
 	for !e.present {
 		e.waiters = append(e.waiters, p)
 		p.dp.Park()
+	}
+	if s := c.world.san; s != nil && e.poster != nil {
+		// A blackboard read is a sync edge from the poster: the value
+		// (typically a KNEM cookie) publishes the buffer it names. The
+		// parked path is already covered by the poster's Wake; this also
+		// covers a BBWait that finds the key present.
+		s.SyncEdge(e.poster.dp.ID(), p.dp.ID())
 	}
 	return e.val
 }

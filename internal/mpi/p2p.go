@@ -6,6 +6,7 @@ import (
 	"hierknem/internal/buffer"
 	"hierknem/internal/des"
 	"hierknem/internal/fabric"
+	"hierknem/internal/san"
 	"hierknem/internal/topology"
 )
 
@@ -80,6 +81,11 @@ func (p *Proc) Wait(r *Request) {
 	}
 	if o := r.owner; o != nil {
 		r.owner = nil
+		if s := p.world.san; s != nil {
+			// Catches a Request waited on after its record was recycled
+			// (e.g. a request handle reused across WaitAll rounds).
+			s.PoolUse(o, p.name)
+		}
 		o.release()
 	}
 }
@@ -115,6 +121,11 @@ type envelope struct {
 	finishFn func() // cached across reuses: finishTransfer(env)
 	arriveFn func() // cached across reuses: eager arrival marker
 
+	// sentAt is the virtual time Isend was called (stall autopsy); sanRead
+	// is the sanitizer's open read window on the payload, -1 when none.
+	sentAt  float64
+	sanRead int
+
 	// intrusive links in the destination's unexpected arrival-order list
 	// (see envIndex).
 	prev, next *envelope
@@ -124,12 +135,15 @@ func (env *envelope) release() {
 	if env.refs--; env.refs > 0 {
 		return
 	}
+	p := env.sender
+	if s := p.world.san; s != nil {
+		s.PoolRelease(san.KindEnvelope, env, p.name)
+	}
 	// sendReq.done is deliberately left set (callers may poll Done after
 	// WaitAll); allocEnv resets the request on reuse.
 	env.bufv = buffer.Buffer{}
 	env.po = nil
 	env.prev, env.next = nil, nil
-	p := env.sender
 	p.envPool = append(p.envPool, env)
 }
 
@@ -153,6 +167,10 @@ func (p *Proc) allocEnv() *envelope {
 		env.arriveFn = func() { env.arrived = true; env.release() }
 	}
 	env.refs = 2 // the caller's *Request + the transfer's finish
+	env.sanRead = -1
+	if s := p.world.san; s != nil {
+		s.PoolAlloc(san.KindEnvelope, env, p.name)
+	}
 	return env
 }
 
@@ -167,14 +185,23 @@ type posting struct {
 	receiver *Proc
 	seq      uint64 // posting order within the receiver (see postIndex)
 	refs     int32  // outstanding references; at 0 the record recycles
+
+	// postedAt is the virtual time Irecv was called (stall autopsy);
+	// sanWrite is the sanitizer's open write window on the receive buffer,
+	// -1 when none.
+	postedAt float64
+	sanWrite int
 }
 
 func (po *posting) release() {
 	if po.refs--; po.refs > 0 {
 		return
 	}
-	po.bufv = buffer.Buffer{}
 	p := po.receiver
+	if s := p.world.san; s != nil {
+		s.PoolRelease(san.KindPosting, po, p.name)
+	}
+	po.bufv = buffer.Buffer{}
 	p.poPool = append(p.poPool, po)
 }
 
@@ -190,6 +217,10 @@ func (p *Proc) allocPosting() *posting {
 		po.req.owner = po
 	}
 	po.refs = 2 // the caller's *Request + the transfer's finish
+	po.sanWrite = -1
+	if s := p.world.san; s != nil {
+		s.PoolAlloc(san.KindPosting, po, p.name)
+	}
 	return po
 }
 
@@ -210,6 +241,12 @@ func (p *Proc) Isend(c *Comm, buf *buffer.Buffer, dst, tag int) *Request {
 	env.bufv = *buf
 	env.size = buf.Len()
 	env.eager = env.size < p.world.Conf.EagerThreshold
+	env.sentAt = p.dp.Now()
+	if s := p.world.san; s != nil {
+		// The payload is read from Isend until the sender is free: end of
+		// Isend for eager (buffered), transfer completion for rendezvous.
+		env.sanRead = s.BeginAccess(p.dp.ID(), p.name, buf.ID(), buf.Off(), env.size, false)
+	}
 
 	interNode := p.core.NodeID != target.core.NodeID
 	if interNode {
@@ -227,6 +264,10 @@ func (p *Proc) Isend(c *Comm, buf *buffer.Buffer, dst, tag int) *Request {
 		if !interNode {
 			// copy-in to the shared segment by the sender core.
 			p.shmCopy(p.core, p.core.Socket, p.core.Socket, env.size, env.bufv.ID())
+		}
+		if s := p.world.san; s != nil && env.sanRead >= 0 {
+			s.EndAccess(env.sanRead) // buffered: the payload is captured
+			env.sanRead = -1
 		}
 		env.sendReq.complete() // buffered: sender is free
 	}
@@ -267,6 +308,7 @@ func (p *Proc) Irecv(c *Comm, buf *buffer.Buffer, src, tag int) *Request {
 	po.tag = tag
 	po.ctx = c.ctx
 	po.bufv = *buf
+	po.postedAt = p.dp.Now()
 	if env := p.unexpected.match(po); env != nil {
 		p.world.startTransfer(env, po)
 	} else {
@@ -322,6 +364,15 @@ func (w *World) startTransfer(env *envelope, po *posting) {
 			env.size, po.bufv.Len(), env.srcWorld, env.tag))
 	}
 	env.po = po
+	if s := w.san; s != nil {
+		// The receive buffer is written for the duration of the transfer.
+		// The window belongs to the *receiver*: completion wakes the
+		// receiver, so its later accesses are ordered by the edge
+		// finishTransfer records, and so are accesses of any rank the
+		// receiver subsequently synchronizes with.
+		po.sanWrite = s.BeginAccess(po.receiver.dp.ID(), po.receiver.name,
+			po.bufv.ID(), po.bufv.Off(), po.bufv.Len(), true)
+	}
 	src := env.sender.core
 	dst := po.receiver.core
 	spec := &w.Machine.Spec
@@ -376,6 +427,20 @@ func (w *World) finishTransfer(env *envelope) {
 	po := env.po
 	po.bufv.CopyFrom(&env.bufv)
 	po.receiver.core.Socket.Touch(po.bufv.ID(), po.bufv.Len())
+	if s := w.san; s != nil {
+		if po.sanWrite >= 0 {
+			s.EndAccess(po.sanWrite)
+			po.sanWrite = -1
+		}
+		if env.sanRead >= 0 {
+			s.EndAccess(env.sanRead)
+			env.sanRead = -1
+		}
+		// Message completion is a sync edge: whatever the receiver (or a
+		// rank it transitively synchronizes with at this instant) does
+		// next is ordered after this transfer's windows.
+		s.SyncEdge(env.sender.dp.ID(), po.receiver.dp.ID())
+	}
 	env.sendReq.complete()
 	po.req.complete()
 	po.release()

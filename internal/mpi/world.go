@@ -13,12 +13,14 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"hierknem/internal/buffer"
 	"hierknem/internal/des"
 	"hierknem/internal/fabric"
 	"hierknem/internal/knem"
+	"hierknem/internal/san"
 	"hierknem/internal/topology"
 )
 
@@ -89,6 +91,10 @@ type World struct {
 	// BytesCross counts payload bytes sent over inter-node links, a
 	// cheap cross-check for algorithm traffic volume.
 	BytesCross int64
+
+	// san is the attached hiersan runtime (nil when disabled — the
+	// default). See EnableSanitizer.
+	san *san.Sanitizer
 }
 
 // Proc is one simulated MPI process. Collective and application code runs in
@@ -123,8 +129,36 @@ func NewWorld(m *topology.Machine, b *topology.Binding, conf Config) (*World, er
 	for r := range w.procs {
 		w.procs[r] = &Proc{world: w, rank: r, name: fmt.Sprintf("rank%d", r), core: b.Core(m, r)}
 	}
+	if san.EnvEnabled() {
+		w.EnableSanitizer()
+	}
 	return w, nil
 }
+
+// EnableSanitizer attaches a hiersan runtime to the world and every layer
+// under it (engine, fabric, KNEM devices), returning it so tests can install
+// a violation collector. Idempotent. NewWorld calls it automatically when
+// HIERSAN=1 is set in the environment. The sanitizer schedules no events
+// and never advances the clock, so an instrumented run is event-for-event
+// identical to a bare one; it only turns virtual-time hazards — double
+// release, use after release, unsynchronized overlapping buffer accesses —
+// into immediate, diagnosable violations.
+func (w *World) EnableSanitizer() *san.Sanitizer {
+	if w.san != nil {
+		return w.san
+	}
+	s := san.New(w.Machine.Eng.Now)
+	w.san = s
+	w.Machine.Eng.SetSanitizer(s)
+	w.Machine.Fab.SetSanitizer(s)
+	for _, d := range w.Knem {
+		d.SetSanitizer(s)
+	}
+	return s
+}
+
+// Sanitizer returns the attached hiersan runtime, or nil when disabled.
+func (w *World) Sanitizer() *san.Sanitizer { return w.san }
 
 // Reset returns the world to its pristine post-NewWorld state so a
 // consecutive same-spec run can reuse the whole arena: the machine (engine
@@ -149,6 +183,11 @@ func (w *World) Reset() {
 	w.nextCtx = 0
 	w.worldComm = nil
 	w.BytesCross = 0
+	if w.san != nil {
+		// After Machine.Reset: the engine's drain has already routed
+		// leftover events through release, under the sanitizer's eyes.
+		w.san.Reset()
+	}
 }
 
 // Run executes body as an SPMD program on every rank and drives the engine
@@ -161,7 +200,17 @@ func (w *World) Run(body func(p *Proc)) error {
 			body(p)
 		})
 	}
-	return w.Machine.Eng.Run()
+	err := w.Machine.Eng.Run()
+	if w.san != nil && err != nil {
+		var dl *des.DeadlockError
+		if errors.As(err, &dl) {
+			// Stall autopsy: the queue drained with ranks still parked.
+			// Attach every pending point-to-point operation so the report
+			// names the missing message, not just the stuck ranks.
+			return &StallError{Deadlock: dl, Report: w.stallReport()}
+		}
+	}
+	return err
 }
 
 // Size returns the number of ranks.

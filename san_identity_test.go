@@ -1,0 +1,34 @@
+// Off-by-default contract of the hiersan runtime: a sanitized run must be
+// event-for-event identical to a bare one (the sanitizer schedules nothing
+// and never advances the clock), and HIERSAN unset or "0" must leave the
+// world completely bare. Named *Isolation* so the CI sanitizer job's
+// -run 'Conformance|Isolation' filter picks it up.
+package hierknem_test
+
+import "testing"
+
+func TestSanitizerIsolationIdenticalEventLog(t *testing.T) {
+	t.Setenv("HIERSAN", "")
+	bare := isoWorld(t)
+	if bare.Sanitizer() != nil {
+		t.Fatal("HIERSAN unset must leave the sanitizer detached")
+	}
+	want := runLogged(t, bare)
+
+	t.Setenv("HIERSAN", "0")
+	w0 := isoWorld(t)
+	if w0.Sanitizer() != nil {
+		t.Fatal("HIERSAN=0 must leave the sanitizer detached")
+	}
+	diffLogs(t, "HIERSAN=0", want, runLogged(t, w0))
+
+	t.Setenv("HIERSAN", "1")
+	w1 := isoWorld(t)
+	if w1.Sanitizer() == nil {
+		t.Fatal("HIERSAN=1 must attach the sanitizer")
+	}
+	diffLogs(t, "HIERSAN=1", want, runLogged(t, w1))
+	if n := w1.Sanitizer().Violations(); n != 0 {
+		t.Fatalf("clean conformance program reported %d violations", n)
+	}
+}

@@ -5,8 +5,10 @@
 #   vet       the stock Go analyzers
 #   hierlint  the simulator-invariant analyzers (cmd/hierlint):
 #             determinism, requesthygiene, errcheck, bufferescape,
-#             runisolation
+#             runisolation, poolreturn, tagspace
 #   test      the full suite under the race detector
+#   san       the conformance/isolation suites under HIERSAN=1 (the hiersan
+#             dynamic sanitizer) plus the seeded fault fixtures
 #   fuzz      10s FuzzMatch smoke over the p2p matching machinery
 #   bench     the perf harness (scripts/bench.sh): DES hot-path suite vs
 #             checked-in baseline, fabric-allocator >=2x resource-visit
@@ -28,6 +30,10 @@ go run ./cmd/hierlint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> san (HIERSAN=1 conformance + seeded faults)"
+HIERSAN=1 go test ./... -run 'Conformance|Isolation'
+go test ./internal/des ./internal/mpi -run 'Sanitizer|StallAutopsy|MaxTimeAbort'
 
 echo "==> fuzz smoke (FuzzMatch, 10s)"
 go test ./internal/mpi -run '^$' -fuzz '^FuzzMatch$' -fuzztime 10s

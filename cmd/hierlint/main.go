@@ -3,8 +3,9 @@
 // wall-clock time or unseeded randomness inside internal/, leaked
 // Isend/Irecv requests, discarded module-API errors, payload buffers
 // shared with unsynchronized goroutines, free-list allocations that never
-// reach a release, and point-to-point tags outside their algorithm's
-// reserved range.
+// reach a release, point-to-point tags outside their algorithm's reserved
+// range, and the hierflow PDES preconditions (vtmono, confine,
+// atomicfield — see internal/lint/flow).
 //
 // Usage:
 //
@@ -12,6 +13,14 @@
 //	hierlint ./internal/coll       # one package
 //	hierlint -list                 # show the analyzer catalogue
 //	hierlint -run determinism ./...# run a single analyzer
+//	hierlint -json ./...           # machine-readable findings + timings
+//	hierlint -nocache ./...        # force full re-analysis
+//	hierlint -parallel 1 ./...     # serial (output is identical either way)
+//
+// Results are cached per package under -cache (default .hierlint-cache in
+// the working directory), keyed on source content and dependency fact
+// hashes: a warm run on an untouched tree re-analyzes nothing. A summary
+// line on stderr reports cache effectiveness.
 //
 // Exit status is 0 when clean, 1 when any diagnostic is reported, 2 on
 // usage or load errors. Suppress an individual finding with a
@@ -20,6 +29,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +39,29 @@ import (
 	"hierknem/internal/lint"
 )
 
+// jsonDiag is one finding in -json output, with a cwd-relative path.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is the full -json document: sorted findings, then the
+// per-package (and per-analyzer, for analyzed packages) timing breakdown.
+type jsonReport struct {
+	Diagnostics []jsonDiag  `json:"diagnostics"`
+	Stats       *lint.Stats `json:"stats"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	run := flag.String("run", "", "run only the named analyzer (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings and timings as JSON on stdout")
+	cacheDir := flag.String("cache", "", "result cache directory (default .hierlint-cache in the working directory)")
+	noCache := flag.Bool("nocache", false, "disable the result cache")
+	parallel := flag.Int("parallel", 0, "package analysis workers (0 = one per CPU, capped)")
 	flag.Parse()
 
 	if *list {
@@ -61,26 +91,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hierlint: %v\n", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.Load(cwd, patterns...)
+	cache := *cacheDir
+	if cache == "" {
+		cache = lint.DefaultCacheDir(cwd)
+	}
+	if *noCache {
+		cache = ""
+	}
+
+	diags, stats, err := lint.Analyze(lint.Options{
+		Dir:       cwd,
+		Patterns:  patterns,
+		Analyzers: analyzers,
+		CacheDir:  cache,
+		Workers:   *parallel,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hierlint: %v\n", err)
 		os.Exit(2)
 	}
 
-	// Collect across all packages, then sort once so the report order is
-	// deterministic regardless of load interleaving: CI diffs stay stable.
-	var diags []lint.Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, lint.Run(pkg, analyzers)...)
+	if *asJSON {
+		report := jsonReport{Diagnostics: []jsonDiag{}, Stats: stats}
+		for _, d := range diags {
+			report.Diagnostics = append(report.Diagnostics, jsonDiag{
+				File:     relPath(cwd, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "hierlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(relativize(cwd, d))
+		}
 	}
-	lint.SortDiagnostics(diags)
-	for _, d := range diags {
-		fmt.Println(relativize(cwd, d))
-	}
+
+	fmt.Fprintf(os.Stderr, "hierlint: %d package(s): %d analyzed, %d cache hit(s)\n",
+		stats.Units, stats.Analyzed, stats.CacheHits)
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hierlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// relPath shortens an absolute path to cwd-relative for readability.
+func relPath(cwd, p string) string {
+	return strings.TrimPrefix(p, cwd+string(filepath.Separator))
 }
 
 // relativize shortens absolute file paths to cwd-relative for readability.

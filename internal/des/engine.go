@@ -318,6 +318,7 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	p.parkedFlag = true
 	e.procs = append(e.procs, p)
 	e.alive++
+	//hierflow:serial cooperative baton passing: exactly one process goroutine (or Run) executes at a time, handed off via the resume channels
 	go func() {
 		<-p.resume
 		p.parkedFlag = false

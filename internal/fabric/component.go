@@ -15,6 +15,13 @@ import (
 // Merges are eager (a new flow bridging components absorbs the smaller into
 // the larger); splits are lazy (a removal marks splitFlag and the next sync
 // re-partitions the component with a local union-find).
+//
+// The hierflow marker makes each component a confinement domain: the
+// confine analyzer proves no state leaks between components outside the
+// //hierflow:sync membership APIs — the static precondition for giving
+// every component its own event queue under conservative PDES.
+//
+//hierflow:component
 type component struct {
 	id    uint64
 	cpos  int // position in Net.comps
@@ -104,6 +111,8 @@ func (n *Net) attach(f *Flow) {
 }
 
 // absorb merges component b into a (caller picks a as the larger side).
+//
+//hierflow:sync designated membership transfer: the merge retargets every flow and resource of b onto a and kills b, under the engine's single-threaded sync — the one place cross-component stores are the point
 func (n *Net) absorb(a, b *component) {
 	n.stats.Merges++
 	for _, f := range b.flows {

@@ -1,0 +1,54 @@
+package lint
+
+// ConfineAnalyzer proves the second PDES precondition: state reachable
+// from one fabric component never leaks into another component's
+// reachable set except through a designated sync API. Per-component event
+// queues are only sound if the components share no mutable state; one
+// aliased slice or flow record silently couples two partitions and the
+// parallel run diverges from the sequential one.
+//
+// Confinement domains are declared at the type: //hierflow:component on a
+// type definition makes every value of that type (or pointer to it) a
+// root, here and in every importing package (the marker travels in the
+// package's hierflow facts). The analyzer roots every store target and
+// stored value at the confined locals they derive from — following
+// aliases, selector/index chains, composite literals and call results —
+// and flags any store whose destination and source root at two distinct
+// components. Calls are checked interprocedurally: a callee whose
+// CrossStores fact says "parameter i is stored into parameter j's
+// reachable state" is treated as that store at the call site.
+//
+// Deliberate membership transfer (attach/absorb/repartition) is the
+// allowlist: mark the function //hierflow:sync <reason>. A sync API's own
+// body is exempt and calls to it are not traversed. The reason is
+// mandatory — a reasonless marker declares nothing and is reported.
+var ConfineAnalyzer = &Analyzer{
+	Name:    "confine",
+	Doc:     "forbids stores that couple two //hierflow:component domains outside //hierflow:sync APIs",
+	Applies: internalOnly,
+	Run:     runConfine,
+}
+
+func runConfine(pass *Pass) {
+	in := pass.Flow
+	for _, fi := range in.Funcs {
+		if in.SyncAPI(fi.Obj) {
+			continue // designated membership API: cross-stores are its job
+		}
+		for _, site := range fi.ConfinedStores() {
+			dst, src, ok := site.DistinctRoots()
+			if !ok {
+				continue
+			}
+			if site.Via != nil {
+				pass.Reportf(site.Pos,
+					"call to %s stores state reachable from component %q into component %q's reachable set; route the transfer through a //hierflow:sync API",
+					site.Via.Name(), src.Name(), dst.Name())
+				continue
+			}
+			pass.Reportf(site.Pos,
+				"stores state reachable from component %q into component %q's reachable set; cross-component transfer must go through a //hierflow:sync API",
+				src.Name(), dst.Name())
+		}
+	}
+}

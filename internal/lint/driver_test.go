@@ -1,0 +1,204 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hierknem/internal/lint"
+)
+
+// writeTree scaffolds a throwaway Go module for driver tests: hermetic (no
+// dependency on the hierknem tree), so cache behavior is exercised without
+// coupling the test to real-package contents.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cacheGoMod = "module cachetest\n\ngo 1.24\n"
+
+// cacheBaseSrc marks Cell as a component and exposes a helper whose
+// CrossStores fact says "param 1 is stored into param 0's reachable set" —
+// the cross-package fact the dependent package's analysis hinges on.
+const cacheBaseSrc = `// Package base is a driver-test fixture.
+package base
+
+// Cell is a confinement domain.
+//
+//hierflow:component
+type Cell struct {
+	Items []*Item
+}
+
+// Item is payload.
+type Item struct{ N int }
+
+// Put stores it into dst's reachable set.
+func Put(dst *Cell, it *Item) {
+	dst.Items = append(dst.Items, it)
+}
+`
+
+// cacheBaseUnmarked is the same package without the component marker: the
+// fact set differs (no confined type), so swapping between the two changes
+// the base package's fact hash and must invalidate dependents.
+const cacheBaseUnmarked = `// Package base is a driver-test fixture.
+package base
+
+// Cell is a confinement domain (unmarked in this variant).
+type Cell struct {
+	Items []*Item
+}
+
+// Item is payload.
+type Item struct{ N int }
+
+// Put stores it into dst's reachable set.
+func Put(dst *Cell, it *Item) {
+	dst.Items = append(dst.Items, it)
+}
+`
+
+const cacheAppSrc = `// Package app is a driver-test fixture dependent.
+package app
+
+import "cachetest/internal/base"
+
+// Leak moves an item across components through the helper.
+func Leak(a, b *base.Cell) {
+	base.Put(b, a.Items[0])
+}
+`
+
+func cacheTree(t *testing.T, baseSrc string) string {
+	return writeTree(t, map[string]string{
+		"go.mod":                cacheGoMod,
+		"internal/base/base.go": baseSrc,
+		"internal/app/app.go":   cacheAppSrc,
+	})
+}
+
+func analyzeTree(t *testing.T, dir, cacheDir string, workers int) ([]lint.Diagnostic, *lint.Stats) {
+	t.Helper()
+	diags, stats, err := lint.Analyze(lint.Options{
+		Dir:      dir,
+		CacheDir: cacheDir,
+		Workers:  workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, stats
+}
+
+func hitByPkg(stats *lint.Stats) map[string]bool {
+	m := map[string]bool{}
+	for _, u := range stats.PerUnit {
+		m[u.Pkg] = u.CacheHit
+	}
+	return m
+}
+
+// TestDriverCacheIdenticalTree pins the warm-cache contract: a second run
+// over an untouched tree re-analyzes zero packages and reproduces the
+// diagnostics exactly.
+func TestDriverCacheIdenticalTree(t *testing.T) {
+	dir := cacheTree(t, cacheBaseSrc)
+	cache := filepath.Join(dir, ".cache")
+
+	cold, coldStats := analyzeTree(t, dir, cache, 0)
+	if coldStats.CacheHits != 0 || coldStats.Analyzed != coldStats.Units {
+		t.Fatalf("cold run: %d hits, %d analyzed of %d units — want all analyzed", coldStats.CacheHits, coldStats.Analyzed, coldStats.Units)
+	}
+	if len(cold) == 0 {
+		t.Fatal("fixture tree should produce confine findings (cross-package fact check)")
+	}
+
+	warm, warmStats := analyzeTree(t, dir, cache, 0)
+	if warmStats.Analyzed != 0 || warmStats.CacheHits != warmStats.Units {
+		t.Fatalf("warm run: %d analyzed, %d hits of %d units — want zero re-analysis", warmStats.Analyzed, warmStats.CacheHits, warmStats.Units)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm diagnostics differ: %d vs %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].String() != cold[i].String() {
+			t.Errorf("diag %d: warm %q != cold %q", i, warm[i], cold[i])
+		}
+	}
+}
+
+// TestDriverCacheInvalidation pins the two invalidation granularities:
+// a comment-only edit re-analyzes just the touched package (its facts are
+// unchanged, so dependents early-cut), while a fact-changing edit (removing
+// the component marker) re-analyzes the dependents too.
+func TestDriverCacheInvalidation(t *testing.T) {
+	dir := cacheTree(t, cacheBaseSrc)
+	cache := filepath.Join(dir, ".cache")
+	basePath := filepath.Join(dir, "internal/base/base.go")
+
+	diags, _ := analyzeTree(t, dir, cache, 0)
+	if len(diags) == 0 {
+		t.Fatal("marked fixture should produce confine findings")
+	}
+
+	// Comment-only edit: base misses, app early-cuts on the fact hash.
+	if err := os.WriteFile(basePath, []byte(cacheBaseSrc+"\n// trailing comment\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats := analyzeTree(t, dir, cache, 0)
+	hits := hitByPkg(stats)
+	if hits["cachetest/internal/base"] {
+		t.Error("base should re-analyze after a source edit")
+	}
+	if !hits["cachetest/internal/app"] {
+		t.Error("app should cache-hit: the edit did not change base's facts (early cutoff)")
+	}
+
+	// Fact-changing edit: the marker disappears, base's fact hash changes,
+	// app must re-analyze — and its findings disappear with the marker.
+	if err := os.WriteFile(basePath, []byte(cacheBaseUnmarked), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, stats = analyzeTree(t, dir, cache, 0)
+	hits = hitByPkg(stats)
+	if hits["cachetest/internal/base"] || hits["cachetest/internal/app"] {
+		t.Errorf("both packages should re-analyze after a fact change, got hits %v", hits)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unmarked tree should be clean, got %v", diags)
+	}
+}
+
+// TestDriverParallelMatchesSerial pins determinism: the merged output of a
+// parallel run is byte-identical to a serial run, mirroring the
+// isolation_test.go pattern of comparing runs under different interleaving.
+func TestDriverParallelMatchesSerial(t *testing.T) {
+	dir := cacheTree(t, cacheBaseSrc)
+
+	serial, _ := analyzeTree(t, dir, "", 1)
+	parallel, _ := analyzeTree(t, dir, "", 8)
+
+	if len(serial) == 0 {
+		t.Fatal("fixture tree should produce findings")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("parallel found %d diagnostics, serial %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if serial[i].String() != parallel[i].String() {
+			t.Errorf("diag %d: parallel %q != serial %q", i, parallel[i], serial[i])
+		}
+	}
+}

@@ -14,76 +14,170 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
-// Package is one loaded, parsed and type-checked Go package.
-type Package struct {
-	PkgPath   string
-	Dir       string
-	Fset      *token.FileSet
-	Files     []*ast.File // non-test files only, in go list order
-	Types     *types.Package
-	TypesInfo *types.Info
-}
-
-// listedPkg is the subset of `go list -json` output the loader needs.
-type listedPkg struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Error      *struct{ Err string }
-	DepsErrors []struct{ Err string }
-}
-
-// Load lists, parses and type-checks the packages matching patterns,
-// resolving every import (stdlib and module-internal alike) through the
-// build cache's compiled export data. dir anchors the `go` invocations, so
-// patterns may be relative (./...) or explicit directories — including
-// testdata fixture directories, which the Go tool skips during pattern
-// expansion but accepts when named outright.
+// Package is one loaded, parsed and type-checked package variant. A source
+// directory yields up to three variants, mirroring how the go tool builds
+// test binaries:
 //
-// Only the `go` tool itself is shelled out to; the analysis is pure
-// go/ast + go/types.
-func Load(dir string, patterns ...string) ([]*Package, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	exports, err := exportMap(dir, patterns)
-	if err != nil {
-		return nil, err
-	}
-	metas, err := listPackages(dir, patterns)
-	if err != nil {
-		return nil, err
-	}
+//	""      the plain package (GoFiles)
+//	"test"  the in-package test variant (GoFiles + TestGoFiles, compiled
+//	        together — test files see unexported identifiers)
+//	"xtest" the external test package (XTestGoFiles, package foo_test)
+//
+// PkgPath is the directory's import path for every variant, so
+// Analyzer.Applies scoping (path substrings and suffixes) treats test code
+// exactly like the code it tests. ReportFiles, when non-nil, restricts
+// which files' diagnostics this variant reports: the test variant reports
+// only its _test.go files, since the base files were already reported by
+// the plain variant.
+type Package struct {
+	PkgPath     string
+	Variant     string
+	Dir         string
+	Fset        *token.FileSet
+	Files       []*ast.File
+	ReportFiles map[string]bool
+	Types       *types.Package
+	TypesInfo   *types.Info
+}
 
-	fset := token.NewFileSet()
-	// One shared importer so every target sees the same *types.Package for
-	// a given dependency (object identity matters when comparing APIs).
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
+// unitMeta is the subset of `go list -json` output the loader needs.
+type unitMeta struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Error        *struct{ Err string }
+}
+
+// listUnits lists the packages matching patterns. dir anchors the `go`
+// invocation, so patterns may be relative (./...) or explicit directories —
+// including testdata fixture directories, which the Go tool skips during
+// pattern expansion but accepts when named outright.
+func listUnits(dir string, patterns []string) ([]*unitMeta, error) {
+	args := append([]string{"list",
+		"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,Error"},
+		patterns...)
+	out, err := runGo(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	var metas []*unitMeta
+	for dec.More() {
+		var m unitMeta
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("go list -json: %w", err)
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}
+
+// modulePath returns the import path of dir's main module.
+func modulePath(dir string) (string, error) {
+	out, err := runGo(dir, "list", "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(out), nil
+}
+
+// exportResolver locates (building on first use) the compiled export data
+// of the targets' full dependency closure, including test-only
+// dependencies (-test). The build is lazy: a fully cache-hit driver run
+// never needs export data at all, which is what keeps warm `hierlint ./...`
+// runs cheap as the tree grows.
+type exportResolver struct {
+	dir      string
+	patterns []string
+
+	once sync.Once
+	m    map[string]string
+	err  error
+}
+
+func newExportResolver(dir string, patterns []string) *exportResolver {
+	return &exportResolver{dir: dir, patterns: patterns}
+}
+
+func (r *exportResolver) build() {
+	args := append([]string{"list", "-deps", "-test", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}, r.patterns...)
+	out, err := runGo(r.dir, args...)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.m = map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		path, file, ok := strings.Cut(line, "\t")
 		if !ok || file == "" {
-			return nil, fmt.Errorf("no export data for %q", path)
+			continue
 		}
-		return os.Open(file)
-	})
+		if _, exists := r.m[path]; !exists {
+			r.m[path] = file
+		}
+	}
+}
 
-	var pkgs []*Package
-	for _, m := range metas {
-		if m.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", m.ImportPath, m.Error.Err)
-		}
+// lookup returns an export-data reader for path, for importer.ForCompiler.
+func (r *exportResolver) lookup(path string) (io.ReadCloser, error) {
+	r.once.Do(r.build)
+	if r.err != nil {
+		return nil, r.err
+	}
+	file, ok := r.m[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// unitImporter resolves imports for one unit's type-checks: in-memory
+// packages first (the xtest variant must see the freshly type-checked test
+// variant of its own directory, exported test helpers included), compiled
+// export data for everything else.
+type unitImporter struct {
+	exp   types.Importer
+	local map[string]*types.Package
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if p := u.local[path]; p != nil {
+		return p, nil
+	}
+	return u.exp.Import(path)
+}
+
+// loadUnit parses and type-checks every variant of one listed package.
+// Each unit owns its FileSet, so units load concurrently without sharing.
+func loadUnit(m *unitMeta, exp *exportResolver) ([]*Package, error) {
+	if m.Error != nil {
+		return nil, fmt.Errorf("go list: %s: %s", m.ImportPath, m.Error.Err)
+	}
+	fset := token.NewFileSet()
+	imp := &unitImporter{
+		exp:   importer.ForCompiler(fset, "gc", exp.lookup),
+		local: map[string]*types.Package{},
+	}
+	parse := func(names []string) ([]*ast.File, error) {
 		var files []*ast.File
-		for _, name := range m.GoFiles {
+		for _, name := range names {
 			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
 			if err != nil {
 				return nil, err
 			}
 			files = append(files, f)
 		}
-		if len(files) == 0 {
-			continue
-		}
+		return files, nil
+	}
+	check := func(path string, files []*ast.File) (*types.Package, *types.Info, error) {
 		info := &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
 			Defs:       map[*ast.Ident]types.Object{},
@@ -92,58 +186,94 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Scopes:     map[ast.Node]*types.Scope{},
 		}
 		conf := types.Config{Importer: imp}
-		tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+		tpkg, err := conf.Check(path, fset, files, info)
 		if err != nil {
-			return nil, fmt.Errorf("typecheck %s: %w", m.ImportPath, err)
+			return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
+		}
+		return tpkg, info, nil
+	}
+	fileSet := func(names []string) map[string]bool {
+		s := make(map[string]bool, len(names))
+		for _, name := range names {
+			s[filepath.Join(m.Dir, name)] = true
+		}
+		return s
+	}
+
+	var pkgs []*Package
+	baseFiles, err := parse(m.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	if len(baseFiles) > 0 {
+		tpkg, info, err := check(m.ImportPath, baseFiles)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[m.ImportPath] = tpkg
+		pkgs = append(pkgs, &Package{
+			PkgPath: m.ImportPath, Variant: "", Dir: m.Dir,
+			Fset: fset, Files: baseFiles, Types: tpkg, TypesInfo: info,
+		})
+	}
+	if len(m.TestGoFiles) > 0 {
+		testFiles, err := parse(m.TestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		all := append(append([]*ast.File{}, baseFiles...), testFiles...)
+		tpkg, info, err := check(m.ImportPath, all)
+		if err != nil {
+			return nil, err
+		}
+		imp.local[m.ImportPath] = tpkg // xtest sees test-variant exports
+		pkgs = append(pkgs, &Package{
+			PkgPath: m.ImportPath, Variant: "test", Dir: m.Dir,
+			Fset: fset, Files: all, ReportFiles: fileSet(m.TestGoFiles),
+			Types: tpkg, TypesInfo: info,
+		})
+	}
+	if len(m.XTestGoFiles) > 0 {
+		xFiles, err := parse(m.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		tpkg, info, err := check(m.ImportPath+"_test", xFiles)
+		if err != nil {
+			return nil, err
 		}
 		pkgs = append(pkgs, &Package{
-			PkgPath:   m.ImportPath,
-			Dir:       m.Dir,
-			Fset:      fset,
-			Files:     files,
-			Types:     tpkg,
-			TypesInfo: info,
+			PkgPath: m.ImportPath, Variant: "xtest", Dir: m.Dir,
+			Fset: fset, Files: xFiles, Types: tpkg, TypesInfo: info,
 		})
 	}
 	return pkgs, nil
 }
 
-// exportMap builds (if needed) and locates the compiled export data of the
-// targets' full dependency closure: import path -> export file.
-func exportMap(dir string, patterns []string) (map[string]string, error) {
-	args := append([]string{"list", "-deps", "-export", "-f", "{{.ImportPath}}\t{{.Export}}"}, patterns...)
-	out, err := runGo(dir, args...)
+// Load lists, parses and type-checks the packages matching patterns —
+// every variant, test files included — resolving imports (stdlib and
+// module-internal alike) through the build cache's compiled export data.
+// Only the `go` tool itself is shelled out to; the analysis is pure
+// go/ast + go/types. The incremental, parallel entry point is Analyze
+// (driver.go); Load is the simple serial path used by tests and fixtures.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := listUnits(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
-	exports := map[string]string{}
-	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
-		path, file, ok := strings.Cut(line, "\t")
-		if !ok {
-			continue
+	exp := newExportResolver(dir, patterns)
+	var pkgs []*Package
+	for _, m := range metas {
+		ps, err := loadUnit(m, exp)
+		if err != nil {
+			return nil, err
 		}
-		exports[path] = file
+		pkgs = append(pkgs, ps...)
 	}
-	return exports, nil
-}
-
-// listPackages returns the metadata of the target packages themselves.
-func listPackages(dir string, patterns []string) ([]*listedPkg, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Error,DepsErrors"}, patterns...)
-	out, err := runGo(dir, args...)
-	if err != nil {
-		return nil, err
-	}
-	dec := json.NewDecoder(strings.NewReader(out))
-	var metas []*listedPkg
-	for dec.More() {
-		var m listedPkg
-		if err := dec.Decode(&m); err != nil {
-			return nil, fmt.Errorf("go list -json: %w", err)
-		}
-		metas = append(metas, &m)
-	}
-	return metas, nil
+	return pkgs, nil
 }
 
 func runGo(dir string, args ...string) (string, error) {

@@ -1,0 +1,86 @@
+// Package atomicfield exercises the atomicfield analyzer: struct fields
+// written and reachable from more than one goroutine-spawning context
+// without atomic, mutex, or channel protection.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n    int // want `field counter.n is written and reachable from 2 goroutine-spawning contexts`
+	done chan struct{}
+}
+
+// spin races the ambient read against the goroutine's write.
+func spin(c *counter) {
+	go func() {
+		c.n++
+		close(c.done)
+	}()
+	_ = c.n
+}
+
+type gauge struct {
+	level int // want `field gauge.level is written and reachable from 2 goroutine-spawning contexts`
+}
+
+func (g *gauge) work() { g.level++ }
+
+// run spawns a declared method: its whole body is a goroutine context.
+func run(g *gauge) {
+	go g.work()
+	_ = g.level
+}
+
+// guarded is clean: a mutex sibling marks the struct as lock-disciplined.
+type guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+func bump(g *guarded) {
+	go func() {
+		g.mu.Lock()
+		g.v++
+		g.mu.Unlock()
+	}()
+	g.mu.Lock()
+	_ = g.v
+	g.mu.Unlock()
+}
+
+// counted is clean: the field is an atomic type.
+type counted struct {
+	hits atomic.Int64
+}
+
+func tally(c *counted) {
+	go func() { c.hits.Add(1) }()
+	_ = c.hits.Load()
+}
+
+// baton is clean: the spawn is marked serial (baton passing), so the
+// goroutine body stays in the spawner's context.
+type baton struct {
+	seq int
+}
+
+func handoff(b *baton) {
+	//hierflow:serial spawner parks before the spawnee runs (fixture mirror of the DES handoff)
+	go func() { b.seq++ }()
+	_ = b.seq
+}
+
+// solo is clean: only the one goroutine context ever touches the field,
+// even though the spawn sits in a loop.
+type solo struct {
+	acc int
+}
+
+func fan(s *solo, n int) {
+	for i := 0; i < n; i++ {
+		go func() { s.acc++ }()
+	}
+}

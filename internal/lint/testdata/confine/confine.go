@@ -1,0 +1,67 @@
+// Package confine exercises the confine analyzer: stores that couple two
+// //hierflow:component confinement domains outside //hierflow:sync APIs.
+package confine
+
+// cell is one partition domain.
+//
+//hierflow:component
+type cell struct {
+	items []*item
+	peer  *cell
+	name  string
+}
+
+type item struct{ n int }
+
+// leakItem stores a value reachable from a into b's reachable set.
+func leakItem(a, b *cell) {
+	b.items = append(b.items, a.items[0]) // want `stores state reachable from component "a" into component "b"`
+}
+
+// aliasLeak aliases one component into another's field.
+func aliasLeak(a, b *cell) {
+	other := b
+	a.peer = other // want `stores state reachable from component "b" into component "a"`
+}
+
+// put is an unmarked helper; its CrossStores fact says "param 1 is stored
+// into param 0's reachable state".
+func put(dst *cell, it *item) {
+	dst.items = append(dst.items, it)
+}
+
+// throughHelper leaks interprocedurally via put's summary fact.
+func throughHelper(a, b *cell) {
+	put(b, a.items[0]) // want `call to put stores state reachable from component "a" into component "b"`
+}
+
+// adopt is the designated membership-transfer API.
+//
+//hierflow:sync membership transfer; exercised by the fixture only
+func adopt(dst, src *cell) {
+	dst.items = append(dst.items, src.items...)
+	src.items = nil
+}
+
+// viaSync is clean: the transfer goes through the allowlisted API.
+func viaSync(a, b *cell) {
+	adopt(a, b)
+}
+
+// scalarCopy is clean: copying a scalar shares no mutable state.
+func scalarCopy(a, b *cell) {
+	b.name = a.name
+	_ = a.items
+}
+
+// internalMove is clean: both sides root at the same component.
+func internalMove(a *cell) {
+	a.items = append(a.items, a.items[0])
+	a.peer = a
+}
+
+// justified is clean: the coupling store is suppressed with a reason.
+func justified(a, b *cell) {
+	//lint:ignore confine read-only debug aliasing, never written through
+	b.peer = a
+}

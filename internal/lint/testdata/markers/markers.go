@@ -1,0 +1,30 @@
+// Package markers exercises the hierflow marker contract: sync and serial
+// markers are exemptions, so a reasonless one declares nothing and is
+// reported as malformed (under the "lint" pseudo-analyzer, like a
+// reasonless //lint:ignore).
+package markers
+
+//hierflow:component
+type pod struct {
+	links []*pod
+}
+
+// badSync carries a reasonless sync marker: it exempts nothing and is
+// itself reported.
+//
+//hierflow:sync
+func badSync(a, b *pod) {
+	b.links = append(b.links, a)
+}
+
+// goodSync is a well-formed sync API: exempt, no findings.
+//
+//hierflow:sync fixture membership transfer, validated by golden test
+func goodSync(a, b *pod) {
+	b.links = append(b.links, a)
+}
+
+func spawn(done chan struct{}) {
+	//hierflow:serial
+	go func() { close(done) }()
+}

@@ -1,0 +1,68 @@
+// Package vtmono exercises the vtmono analyzer: schedule/timer time
+// arguments deriving from subtraction against virtual now, or from a now
+// read captured before a yield point.
+package vtmono
+
+import "hierknem/internal/des"
+
+// subtractNow derives a delay by subtracting now from a deadline: if now
+// has passed the deadline the schedule lands in the past.
+func subtractNow(e *des.Engine, p *des.Proc, deadline float64, fn func()) {
+	e.After(deadline-p.Now(), fn) // want `time argument of After derives from subtraction against virtual now`
+}
+
+// subtractThroughLocal routes the subtraction through a local variable;
+// the def-use chain still sees it.
+func subtractThroughLocal(e *des.Engine, p *des.Proc, deadline float64, fn func()) {
+	remaining := deadline - p.Now()
+	e.After(remaining, fn) // want `time argument of After derives from subtraction against virtual now`
+}
+
+// staleCapture reads now, yields, then schedules at the stale timestamp:
+// now advanced across the Sleep, so the At target is in the past.
+func staleCapture(e *des.Engine, p *des.Proc, fn func()) {
+	t0 := p.Now()
+	p.Sleep(5)
+	e.At(t0, fn) // want `time argument of At derives from virtual now captured before the yield`
+}
+
+// staleAcrossAwait is the same staleness through the Await combinator.
+func staleAcrossAwait(e *des.Engine, p *des.Proc, fn func()) {
+	mark := p.Now() + 1
+	des.Await(p, func(done func()) { done() })
+	e.At(mark, fn) // want `time argument of At derives from virtual now captured before the yield`
+}
+
+// schedHelper forwards its argument to a sink; vtmono learns the
+// TimeSinkParams fact and checks callers of the helper too.
+func schedHelper(e *des.Engine, t float64, fn func()) {
+	e.At(t, fn)
+}
+
+// transitiveSubtract hits the sink through the helper.
+func transitiveSubtract(e *des.Engine, p *des.Proc, lead float64, fn func()) {
+	schedHelper(e, lead-p.Now(), fn) // want `time argument of schedHelper derives from subtraction against virtual now`
+}
+
+// freshNow is clean: the timestamp is read and used with no yield between,
+// and now is the minuend, not the subtrahend.
+func freshNow(e *des.Engine, p *des.Proc, t0 float64, fn func()) {
+	elapsed := p.Now() - t0
+	_ = elapsed
+	e.At(p.Now()+1, fn)
+	e.After(2.5, fn)
+}
+
+// reRead is clean: now is re-read after the yield.
+func reRead(e *des.Engine, p *des.Proc, fn func()) {
+	p.Sleep(1)
+	e.At(p.Now()+3, fn)
+}
+
+// justified is clean: the stale use is suppressed with a reason.
+func justified(e *des.Engine, p *des.Proc, fn func()) {
+	horizon := p.Now() + 1e9
+	p.Sleep(1)
+	//lint:ignore vtmono horizon is one wallclock-era beyond any reachable now
+	e.At(horizon, fn)
+}

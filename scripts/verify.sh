@@ -5,7 +5,11 @@
 #   vet       the stock Go analyzers
 #   hierlint  the simulator-invariant analyzers (cmd/hierlint):
 #             determinism, requesthygiene, errcheck, bufferescape,
-#             runisolation, poolreturn, tagspace
+#             runisolation, poolreturn, tagspace, plus the hierflow
+#             interprocedural PDES preconditions: vtmono, confine,
+#             atomicfield. Runs twice (cold-ish, then warm) and prints
+#             both timings so result-cache effectiveness stays visible;
+#             also gates that all ten analyzers are registered.
 #   test      the full suite under the race detector
 #   san       the conformance/isolation suites under HIERSAN=1 (the hiersan
 #             dynamic sanitizer) plus the seeded fault fixtures
@@ -26,7 +30,18 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> hierlint ./..."
-go run ./cmd/hierlint ./...
+go build -o /tmp/hierlint.verify ./cmd/hierlint
+if [ "$(/tmp/hierlint.verify -list | wc -l)" -ne 10 ]; then
+  echo "hierlint: expected 10 registered analyzers" >&2
+  /tmp/hierlint.verify -list >&2
+  exit 1
+fi
+t0=$(date +%s%N)
+/tmp/hierlint.verify ./...
+t1=$(date +%s%N)
+/tmp/hierlint.verify ./...
+t2=$(date +%s%N)
+echo "hierlint timing: first run $(( (t1 - t0) / 1000000 ))ms, warm-cache run $(( (t2 - t1) / 1000000 ))ms"
 
 echo "==> go test -race ./..."
 go test -race ./...

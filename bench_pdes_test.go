@@ -1,0 +1,51 @@
+// PDES scaling benchmark: the Fig3a acceptance workload (32-node,
+// 768-process Stremi broadcast) run under both engine modes. scripts/bench.sh
+// runs the pair with -count and distills results/BENCH_pdes.json via
+// cmd/benchjson's pdes schema: events/op must agree exactly between modes
+// (the hex-identity canary in throughput form), and on hosts with >=4 cores
+// the parallel engine must reach >=2x the serial events/sec; below 4 cores
+// the speedup gate is recorded as waived, like the sweep gate.
+package hierknem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hierknem"
+	"hierknem/internal/imb"
+)
+
+// BenchmarkPDESFig3aBcast768 measures the conservative-window engine
+// against the serial reference on the paper's largest broadcast
+// configuration. Both sub-benchmarks build identical worlds; only the
+// engine organization differs.
+func BenchmarkPDESFig3aBcast768(b *testing.B) {
+	spec := hierknem.Stremi(32)
+	mod := hierknem.ForCluster(&spec)
+	mod.Opt.CacheTopology = true
+	np := spec.Nodes * spec.CoresPerNode()
+	const size = 64 << 10
+	for _, mode := range []struct {
+		name string
+		m    hierknem.EngineMode
+	}{
+		{"serial", hierknem.EngineSerial},
+		{"parallel", hierknem.EngineParallel},
+	} {
+		mode := mode
+		b.Run(fmt.Sprintf("mode=%s", mode.name), func(b *testing.B) {
+			benchDES(b,
+				func() (*hierknem.World, error) {
+					w, err := hierknem.NewWorld(spec, "bycore", np)
+					if err != nil {
+						return nil, err
+					}
+					w.SetEngineMode(mode.m)
+					return w, nil
+				},
+				func(w *hierknem.World) {
+					hierknem.BenchBcast(w, mod, size, imb.Opts{Iterations: 4, Warmup: 1})
+				})
+		})
+	}
+}

@@ -43,6 +43,17 @@
 //	go run ./cmd/benchjson -schema sweep -sweep-command 'hierbench -exp all ...' \
 //	    -serial-sec 10.4 -parallel-sec 2.9 -workers 8 -identical \
 //	    -o results/BENCH_sweep.json
+//
+//   - pdes (-schema pdes, hierknem/bench-pdes/v1): the conservative parallel
+//     DES engine. Pairs each BenchmarkPDES* mode=serial benchmark with its
+//     mode=parallel twin; events/op must agree exactly between the modes
+//     (the hex-identity canary in throughput form — that bar always binds),
+//     and the events/sec speedup bar (-min-pdes-speedup, default 2) binds
+//     only when the host has at least -min-cores cores, recorded as a
+//     waiver otherwise, exactly like the sweep schema.
+//
+//	go test -run '^$' -bench BenchmarkPDES -benchtime 1x -count 3 -benchmem . |
+//	    go run ./cmd/benchjson -schema pdes -enforce Fig3a -o results/BENCH_pdes.json
 package main
 
 import (
@@ -101,27 +112,42 @@ type DESComparison struct {
 	EventsMatch          bool    `json:"events_match"`
 }
 
+// PDESComparison pairs one workload's serial and parallel engine runs.
+type PDESComparison struct {
+	Benchmark            string  `json:"benchmark"`
+	SerialEventsPerSec   float64 `json:"serial_events_per_sec"`
+	ParallelEventsPerSec float64 `json:"parallel_events_per_sec"`
+	Speedup              float64 `json:"speedup"` // parallel / serial
+	SerialEventsPerOp    float64 `json:"serial_events_per_op"`
+	ParallelEventsPerOp  float64 `json:"parallel_events_per_op"`
+	EventsMatch          bool    `json:"events_match"`
+}
+
 // Report is the emitted JSON document (either schema).
 type Report struct {
-	Schema         string          `json:"schema"`
-	GoVersion      string          `json:"go_version"`
-	Goos           string          `json:"goos,omitempty"`
-	Goarch         string          `json:"goarch,omitempty"`
-	CPU            string          `json:"cpu,omitempty"`
-	Pkg            string          `json:"pkg,omitempty"`
-	Benchmarks     []Benchmark     `json:"benchmarks"`
-	Comparisons    []Comparison    `json:"comparisons,omitempty"`
-	DESComparisons []DESComparison `json:"des_comparisons,omitempty"`
-	Criterion      *Criterion      `json:"criterion,omitempty"`
+	Schema          string           `json:"schema"`
+	GoVersion       string           `json:"go_version"`
+	Goos            string           `json:"goos,omitempty"`
+	Goarch          string           `json:"goarch,omitempty"`
+	CPU             string           `json:"cpu,omitempty"`
+	Pkg             string           `json:"pkg,omitempty"`
+	HostCores       int              `json:"host_cores,omitempty"`
+	Benchmarks      []Benchmark      `json:"benchmarks"`
+	Comparisons     []Comparison     `json:"comparisons,omitempty"`
+	DESComparisons  []DESComparison  `json:"des_comparisons,omitempty"`
+	PDESComparisons []PDESComparison `json:"pdes_comparisons,omitempty"`
+	Criterion       *Criterion       `json:"criterion,omitempty"`
 }
 
 // Criterion records the enforced acceptance bar and its outcome.
 type Criterion struct {
-	MinVisitRatio float64 `json:"min_visit_ratio,omitempty"`
-	MinSpeedup    float64 `json:"min_speedup,omitempty"`
-	MinAllocRatio float64 `json:"min_alloc_ratio,omitempty"`
-	AppliesTo     string  `json:"applies_to"`
-	Pass          bool    `json:"pass"`
+	MinVisitRatio   float64 `json:"min_visit_ratio,omitempty"`
+	MinSpeedup      float64 `json:"min_speedup,omitempty"`
+	MinAllocRatio   float64 `json:"min_alloc_ratio,omitempty"`
+	MinCores        int     `json:"min_cores,omitempty"`
+	SpeedupEnforced *bool   `json:"speedup_enforced,omitempty"` // pdes: false below min_cores
+	AppliesTo       string  `json:"applies_to"`
+	Pass            bool    `json:"pass"`
 }
 
 // SweepReport is the bench-sweep/v1 document: one serial/parallel timing
@@ -149,7 +175,7 @@ const modeKey = "mode=incremental"
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
-	schema := flag.String("schema", "fabric", "document schema: fabric, des or sweep")
+	schema := flag.String("schema", "fabric", "document schema: fabric, des, sweep or pdes")
 	minRatio := flag.Float64("min-visit-ratio", 0, "fabric: fail unless every enforced pair's visit ratio meets this")
 	baseline := flag.String("baseline", "", "des: baseline JSON (a bench-des/v1 document) to compare against")
 	minSpeedup := flag.Float64("min-speedup", 0, "des: fail unless every enforced benchmark's events/sec speedup meets this")
@@ -162,7 +188,8 @@ func main() {
 	hostCores := flag.Int("host-cores", runtime.NumCPU(), "sweep: cores available to the runs")
 	identical := flag.Bool("identical", false, "sweep: the two runs' stdout matched byte for byte")
 	minSweepSpeedup := flag.Float64("min-sweep-speedup", 3, "sweep: enforced wall-clock speedup (when host-cores >= min-cores)")
-	minCores := flag.Int("min-cores", 4, "sweep: smallest host the speedup bar applies to")
+	minCores := flag.Int("min-cores", 4, "sweep/pdes: smallest host the speedup bar applies to")
+	minPDESSpeedup := flag.Float64("min-pdes-speedup", 2, "pdes: enforced events/sec speedup (when host-cores >= min-cores)")
 	flag.Parse()
 
 	if *schema == "sweep" {
@@ -216,8 +243,24 @@ func main() {
 			pass = compareDES(rep, *baseline, re, *minSpeedup, *minAllocRatio)
 			rep.Criterion = &Criterion{MinSpeedup: *minSpeedup, MinAllocRatio: *minAllocRatio, AppliesTo: *enforce, Pass: pass}
 		}
+	case "pdes":
+		rep.Schema = "hierknem/bench-pdes/v1"
+		rep.HostCores = *hostCores
+		enforced := *hostCores >= *minCores
+		pass = comparePDES(rep, re, *minPDESSpeedup, enforced)
+		rep.Criterion = &Criterion{
+			MinSpeedup:      *minPDESSpeedup,
+			MinCores:        *minCores,
+			SpeedupEnforced: &enforced,
+			AppliesTo:       *enforce,
+			Pass:            pass,
+		}
+		if !enforced {
+			fmt.Fprintf(os.Stderr, "benchjson: note: pdes speedup bar waived (%d cores < %d); events/op identity still enforced\n",
+				*hostCores, *minCores)
+		}
 	default:
-		fatal(fmt.Errorf("unknown -schema %q (want fabric, des or sweep)", *schema))
+		fatal(fmt.Errorf("unknown -schema %q (want fabric, des, sweep or pdes)", *schema))
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -446,6 +489,71 @@ func compareDES(rep *Report, baselinePath string, re *regexp.Regexp, minSpeedup,
 	if enforced == 0 && (minSpeedup > 0 || minAllocRatio > 0) {
 		pass = false
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark matches -enforce %q\n", re.String())
+	}
+	return pass
+}
+
+// comparePDES joins each mode=serial benchmark with its mode=parallel twin
+// and applies the PDES acceptance bars: events/op identity always binds
+// (the parallel engine promises a hex-identical event log, so dispatching a
+// different event count is a correctness bug, not a tuning problem); the
+// events/sec speedup bar binds only when enforceSpeedup is set (host has
+// enough cores for window promotion to pay off). Returns overall pass/fail.
+func comparePDES(rep *Report, re *regexp.Regexp, minSpeedup float64, enforceSpeedup bool) bool {
+	byName := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	var names []string
+	for name := range byName {
+		if strings.Contains(name, "mode=serial") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	pass := true
+	enforced := 0
+	for _, name := range names {
+		ser := byName[name]
+		par, ok := byName[strings.Replace(name, "mode=serial", "mode=parallel", 1)]
+		if !ok {
+			pass = false
+			fmt.Fprintf(os.Stderr, "benchjson: %s has no mode=parallel twin\n", name)
+			continue
+		}
+		c := PDESComparison{
+			Benchmark:            strings.Replace(name, "/mode=serial", "", 1),
+			SerialEventsPerSec:   ser.Metrics["events/sec"],
+			ParallelEventsPerSec: par.Metrics["events/sec"],
+			SerialEventsPerOp:    ser.Metrics["events/op"],
+			ParallelEventsPerOp:  par.Metrics["events/op"],
+		}
+		if c.SerialEventsPerSec > 0 {
+			c.Speedup = c.ParallelEventsPerSec / c.SerialEventsPerSec
+		}
+		c.EventsMatch = c.SerialEventsPerOp == c.ParallelEventsPerOp
+		if !c.EventsMatch {
+			pass = false
+			fmt.Fprintf(os.Stderr, "benchjson: %s events/op %.0f (parallel) != %.0f (serial) — the engines diverged\n",
+				c.Benchmark, c.ParallelEventsPerOp, c.SerialEventsPerOp)
+		}
+		if re.MatchString(name) {
+			enforced++
+			if enforceSpeedup && minSpeedup > 0 && c.Speedup < minSpeedup {
+				pass = false
+				fmt.Fprintf(os.Stderr, "benchjson: %s parallel speedup %.2f < %.2f\n",
+					c.Benchmark, c.Speedup, minSpeedup)
+			}
+		}
+		rep.PDESComparisons = append(rep.PDESComparisons, c)
+	}
+	if len(rep.PDESComparisons) == 0 {
+		pass = false
+		fmt.Fprintf(os.Stderr, "benchjson: no mode=serial/mode=parallel pair on stdin\n")
+	}
+	if enforced == 0 {
+		pass = false
+		fmt.Fprintf(os.Stderr, "benchjson: no pdes pair matches -enforce %q\n", re.String())
 	}
 	return pass
 }

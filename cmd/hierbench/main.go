@@ -34,10 +34,11 @@ import (
 )
 
 type config struct {
-	nodes  int
-	iters  int
-	aspN   int
-	aspDim int // nodes used for the ASP study
+	nodes   int
+	iters   int
+	aspN    int
+	aspDim  int // nodes used for the ASP study
+	engMode hierknem.EngineMode
 }
 
 func main() {
@@ -47,9 +48,21 @@ func main() {
 	aspN := flag.Int("asp-n", 2048, "ASP matrix dimension (paper: 16384/32768)")
 	aspNodes := flag.Int("asp-nodes", 8, "nodes for the ASP study (paper: 32)")
 	parallel := flag.Int("parallel", 0, "concurrent data-point simulations (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "serial", "DES engine mode: serial (reference) or parallel (conservative windows)")
 	flag.Parse()
 
-	cfg := config{nodes: *nodes, iters: *iters, aspN: *aspN, aspDim: *aspNodes}
+	var engMode hierknem.EngineMode
+	switch *engine {
+	case "serial":
+		engMode = hierknem.EngineSerial
+	case "parallel":
+		engMode = hierknem.EngineParallel
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -engine %q; known: serial, parallel\n", *engine)
+		os.Exit(2)
+	}
+
+	cfg := config{nodes: *nodes, iters: *iters, aspN: *aspN, aspDim: *aspNodes, engMode: engMode}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -70,6 +83,7 @@ func main() {
 // parallel output byte-identical to serial.
 func runExperiments(ids []string, cfg config, parallel int, progress io.Writer) error {
 	s := sweep.New("hierbench", parallel, progress)
+	s.SetEngineMode(cfg.engMode)
 	renders := make([]func(), 0, len(ids))
 	for _, id := range ids {
 		renders = append(renders, experiments[id](cfg, s))

@@ -28,6 +28,7 @@ import (
 	"hierknem/internal/clusters"
 	"hierknem/internal/coll"
 	"hierknem/internal/core"
+	"hierknem/internal/des"
 	"hierknem/internal/imb"
 	"hierknem/internal/modules"
 	"hierknem/internal/mpi"
@@ -62,6 +63,16 @@ type (
 	ASPResult = asp.Result
 	// ReduceArgs bundle the reduction operator and datatype.
 	ReduceArgs = coll.ReduceArgs
+	// EngineMode selects the DES engine organization (see World.SetEngineMode).
+	EngineMode = des.EngineMode
+)
+
+// Engine modes: the serial reference, and the conservative parallel mode
+// that stages per-node event queues inside bounded virtual-time windows
+// while keeping the event log bit-identical to serial.
+const (
+	EngineSerial   = des.ModeSerial
+	EngineParallel = des.ModeParallel
 )
 
 // Cluster presets from the paper's evaluation (Grid'5000).

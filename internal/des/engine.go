@@ -82,6 +82,15 @@ type Engine struct {
 	// Zero means no horizon.
 	MaxTime float64
 
+	// Parallel-mode state (pdes.go). par is nil in serial mode, so the
+	// serial hot path pays one nil check per schedule/pop. curDom is the
+	// ambient domain tag: the domain of the event being dispatched, used
+	// to tag events scheduled from callbacks.
+	mode      EngineMode
+	partition Partition
+	par       *parstate
+	curDom    int32
+
 	// san, when non-nil, receives pool-provenance and sync-edge hooks
 	// (hiersan). Every hook site is nil-guarded so the disabled hot path
 	// pays one predictable branch and zero allocations.
@@ -116,6 +125,8 @@ type event struct {
 	proc    *Proc  // non-nil: resume proc if it is still parked at parkGen
 	parkGen uint64 // park generation the resume targets
 	idx     int    // heap position; bucketIdx in the bucket; -1 detached
+	dom     int32  // domain tag (parallel mode staging + causality reports)
+	inDom   int32  // staging heap index while staged; -1 in queue/bucket
 }
 
 // bucketIdx marks an event as living in the now-bucket rather than the heap.
@@ -137,6 +148,9 @@ func (e *Engine) alloc(at float64) *event {
 	}
 	ev.at = at
 	ev.seq = e.seq
+	// Recycled and fresh records alike must start detached from the
+	// staging heaps: the zero value 0 would read as "staged in heap 0".
+	ev.inDom = -1
 	e.seq++
 	if e.san != nil {
 		e.san.PoolAlloc(san.KindEvent, ev, "")
@@ -159,14 +173,19 @@ func (e *Engine) release(ev *event) {
 	e.pool = append(e.pool, ev)
 }
 
-// schedule allocates an event at absolute time t and enqueues it: the
-// now-bucket for the current timestamp, the heap for the future.
-func (e *Engine) schedule(t float64) *event {
+// schedule allocates an event at absolute time t for domain dom and
+// enqueues it: the now-bucket for the current timestamp, the heap for the
+// future — or, in parallel mode, the domain's staging heap when t lies at
+// or beyond the current window horizon.
+func (e *Engine) schedule(t float64, dom int32) *event {
 	ev := e.alloc(t)
+	ev.dom = dom
 	if t == e.now {
 		ev.idx = bucketIdx
 		e.bucket = append(e.bucket, ev)
 		e.bucketLive++
+	} else if p := e.par; p != nil && t >= p.horizon {
+		e.stage(ev, dom)
 	} else {
 		e.queue.push(ev)
 	}
@@ -230,6 +249,16 @@ func (t *Timer) Cancel() {
 		return // already fired or recycled
 	}
 	switch {
+	case ev.inDom >= 0:
+		// Staged in a parallel-mode domain heap — possibly a domain other
+		// than the canceller's, in a future window. Removal is immediate
+		// either way; the conservative domMin cache is left stale-low,
+		// which can only force Sleep's slow path, never reorder dispatch.
+		par := eng.par
+		par.heaps[ev.inDom].removeAt(ev.idx)
+		par.staged--
+		ev.inDom = -1
+		eng.release(ev)
 	case ev.idx >= 0:
 		eng.queue.removeAt(ev.idx)
 		eng.release(ev)
@@ -243,18 +272,11 @@ func (t *Timer) Cancel() {
 // Stopped reports whether the timer was cancelled or already fired.
 func (t *Timer) Stopped() bool { return t == nil || t.ev == nil || t.ev.gen != t.gen }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would silently corrupt causality.
+// At schedules fn to run at absolute virtual time t, tagged with the
+// ambient domain (the domain of the event being dispatched). Scheduling in
+// the past panics: it would silently corrupt causality.
 func (e *Engine) At(t float64, fn func()) Timer {
-	if t < e.now {
-		panic(fmt.Sprintf("des: scheduling event at %g before now %g", t, e.now))
-	}
-	if math.IsNaN(t) || math.IsInf(t, 0) {
-		panic(fmt.Sprintf("des: scheduling event at non-finite time %g", t))
-	}
-	ev := e.schedule(t)
-	ev.fn = fn
-	return Timer{eng: e, ev: ev, gen: ev.gen}
+	return e.AtDomain(e.curDom, t, fn)
 }
 
 // After schedules fn to run d seconds of virtual time from now.
@@ -282,6 +304,10 @@ type Proc struct {
 	pendingWake bool
 	done        bool
 	started     bool
+
+	// dom is the process's home domain (SetDomain); its resume events
+	// stage under this domain in parallel mode. 0 = global.
+	dom int32
 
 	// awaitRemaining and awaitDone back Await/AwaitAll without a fresh
 	// counter and closure per call: a process runs at most one await at a
@@ -355,7 +381,7 @@ func (p *Proc) park(wakeable bool) {
 // for the park generation gen. No closure, no allocation in steady state:
 // the target rides in the pooled event record itself.
 func (e *Engine) resumeEventFor(p *Proc, gen uint64, t float64) {
-	ev := e.schedule(t)
+	ev := e.schedule(t, p.dom)
 	ev.proc = p
 	ev.parkGen = gen
 }
@@ -375,6 +401,14 @@ func (e *Engine) resumeEventFor(p *Proc, gen uint64, t float64) {
 // violation falls through to the slow path so Run can surface the error.
 // No wake can target a running process (wakes on a running process only
 // latch pendingWake), so skipping the park cannot drop a resume.
+//
+// In parallel mode the staged heaps are part of "the queue": the fast path
+// additionally requires every staged event to lie strictly after t. The
+// cached staged minimum is conservative (it can be stale-low after a
+// cancel), which at worst forces the slow path — and the slow path is
+// observationally identical (one sequence number, one processed event, same
+// clock) whenever the resume is the global minimum, so a spurious slow trip
+// cannot perturb the event log.
 func (p *Proc) Sleep(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("des: negative sleep %g", d))
@@ -383,10 +417,12 @@ func (p *Proc) Sleep(d float64) {
 	t := e.now + d
 	if e.bucketPos == len(e.bucket) &&
 		(len(e.queue) == 0 || e.queue[0].at > t) &&
+		(e.par == nil || e.par.domMin > t) &&
 		!(e.MaxTime > 0 && t > e.MaxTime) {
 		e.seq++
 		e.processed++
 		e.now = t
+		e.curDom = p.dom
 		return
 	}
 	e.resumeEventFor(p, p.parkGen+1, t)
@@ -466,8 +502,13 @@ func (e *Engine) Run() error {
 	// time on collective-heavy workloads. Restored on exit; a no-op when
 	// GOMAXPROCS is already 1. Skipped under SetHostPinning(false): the
 	// knob is process-wide, so concurrent engines must leave it alone.
-	if hostPinning.Load() {
+	// Parallel mode also skips it — window promotion and the fabric's
+	// parallel fill fan out across Ps mid-run.
+	if hostPinning.Load() && e.par == nil {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	}
+	if ce := e.checkLookahead(); ce != nil {
+		return ce
 	}
 	e.runErr = nil
 	if !e.dispatch(nil, true) {
@@ -504,6 +545,11 @@ func (e *Engine) dispatch(self *Proc, onMain bool) bool {
 	for {
 		ev := e.pop()
 		if ev == nil {
+			// Parallel mode: a drained run queue is the window barrier.
+			// Open the next window if anything is staged, then resume.
+			if e.par != nil && e.advanceWindow() {
+				continue
+			}
 			return e.finish(onMain)
 		}
 		if ev.dead() {
@@ -525,6 +571,7 @@ func (e *Engine) dispatch(self *Proc, onMain bool) bool {
 			e.release(ev)
 			if !p.done && p.parkedFlag && p.parkGen == gen {
 				e.current = p
+				e.curDom = p.dom
 				if p == self {
 					return true
 				}
@@ -534,6 +581,7 @@ func (e *Engine) dispatch(self *Proc, onMain bool) bool {
 			continue
 		}
 		fn := ev.fn
+		e.curDom = ev.dom
 		e.release(ev)
 		// No process is executing during a callback; clear current so
 		// Wake's sanitizer edge cannot attribute the wake to whichever
@@ -577,6 +625,12 @@ func (e *Engine) Reset() {
 	e.procs = e.procs[:0]
 	e.current = nil
 	e.runErr = nil
+	e.curDom = 0
+	// Mode and partition survive Reset — a reset world replays in the
+	// mode it was left in — but the window state re-derives from scratch.
+	if e.par != nil {
+		e.initParallel()
+	}
 }
 
 // drainPending routes every still-queued event — leftovers after a MaxTime
@@ -597,12 +651,30 @@ func (e *Engine) drainPending() {
 	e.bucket = e.bucket[:0]
 	e.bucketPos = 0
 	e.bucketLive = 0
+	if p := e.par; p != nil && p.staged > 0 {
+		for di := range p.heaps {
+			h := &p.heaps[di]
+			for len(*h) > 0 {
+				ev := h.popMin()
+				ev.inDom = -1
+				e.release(ev)
+			}
+		}
+		p.staged = 0
+		p.domMin = math.Inf(1)
+	}
 }
 
-// Pending returns the number of events currently scheduled. Cancelled
-// timers are removed (heap) or marked dead (bucket) eagerly and do not
-// count.
-func (e *Engine) Pending() int { return len(e.queue) + e.bucketLive }
+// Pending returns the number of events currently scheduled, including any
+// staged in parallel-mode domain heaps. Cancelled timers are removed
+// (heap) or marked dead (bucket) eagerly and do not count.
+func (e *Engine) Pending() int {
+	n := len(e.queue) + e.bucketLive
+	if e.par != nil {
+		n += e.par.staged
+	}
+	return n
+}
 
 // Processed returns the number of events dispatched so far — the raw event
 // throughput measure the fabric benchmarks report as events/sec.

@@ -1,0 +1,386 @@
+package des
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+)
+
+// stubPartition is a mutable Partition for unit tests.
+type stubPartition struct {
+	doms  int
+	look  float64
+	epoch uint64
+}
+
+func (s *stubPartition) Domains() int       { return s.doms }
+func (s *stubPartition) Lookahead() float64 { return s.look }
+func (s *stubPartition) Epoch() uint64      { return s.epoch }
+
+func hexT(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+
+// pdesWorkload drives a small multi-domain program on eng and returns its
+// event log: every observable instant rendered hex-exact, so string
+// equality is bit equality. The program exercises sleeps (fast and slow
+// paths), cross-domain wakes, callback timers, cancellation, and zero-time
+// events.
+func pdesWorkload(t *testing.T, eng *Engine) []string {
+	t.Helper()
+	var log []string
+	emit := func(tag string) { log = append(log, tag+" "+hexT(eng.Now())) }
+
+	var procs []*Proc
+	for d := 0; d < 3; d++ {
+		d := d
+		p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				p.Sleep(1e-3 * float64(d+1))
+				emit(fmt.Sprintf("slept d%d i%d", d, i))
+			}
+			p.Park()
+			emit(fmt.Sprintf("woken d%d", d))
+		})
+		p.SetDomain(int32(d) + 1)
+		procs = append(procs, p)
+	}
+	// Cross-domain timers, including one at a window-boundary-ish instant
+	// and one cancelled before it can fire.
+	eng.AtDomain(2, 2.5e-3, func() { emit("timer d2") })
+	doomed := eng.AtDomain(3, 7e-3, func() { emit("SHOULD NOT FIRE") })
+	eng.AtDomain(1, 3e-3, func() {
+		doomed.Cancel()
+		emit("cancelled d3 timer from d1")
+	})
+	// Wake every parked proc once the timers have played out.
+	eng.AtDomain(0, 9e-3, func() {
+		for _, p := range procs {
+			p.Wake()
+		}
+		emit("wakes issued")
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	log = append(log, fmt.Sprintf("final %s seq=%d processed=%d pending=%d",
+		hexT(eng.Now()), eng.seq, eng.Processed(), eng.Pending()))
+	return log
+}
+
+func diffLog(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: log length %d, want %d\nwant %v\ngot  %v", label, len(got), len(want), want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: log entry %d differs:\n  want %s\n  got  %s", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestPDESDifferentialWorkload runs the same program serially and in
+// parallel mode and requires hex-identical event logs, with the window
+// machinery demonstrably engaged.
+func TestPDESDifferentialWorkload(t *testing.T) {
+	serial := pdesWorkload(t, New())
+
+	eng := New()
+	eng.SetPartition(&stubPartition{doms: 3, look: 5e-4})
+	eng.SetMode(ModeParallel)
+	diffLog(t, "parallel vs serial", serial, pdesWorkload(t, eng))
+
+	ws := eng.WindowStats()
+	if ws.Windows == 0 || ws.Collected == 0 {
+		t.Fatalf("parallel run never exercised the window machinery: %+v", ws)
+	}
+	if ws.Staged != 0 {
+		t.Fatalf("events still staged after Run: %+v", ws)
+	}
+}
+
+// TestPDESWindowEdgeCases pins the window-advancement corner cases: a
+// single-domain partition degenerates to the serial engine, simultaneous
+// cross-domain events at the window boundary dispatch in (time, seq) order,
+// and cancelling an event staged in another domain's future window removes
+// it immediately.
+func TestPDESWindowEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, eng *Engine, parallel bool) []string
+		part *stubPartition
+		// wantWindows constrains the window counter after the parallel
+		// run: -1 means "at least one".
+		wantWindows int
+	}{
+		{
+			name: "single-domain degenerates to serial",
+			part: &stubPartition{doms: 1, look: 1e-6},
+			run: func(t *testing.T, eng *Engine, parallel bool) []string {
+				var log []string
+				for i := 0; i < 5; i++ {
+					at := float64(i) * 1e-3
+					eng.At(at, func() { log = append(log, hexT(eng.Now())) })
+				}
+				if parallel {
+					if st := eng.WindowStats(); st.Staged != 0 {
+						t.Fatalf("degenerate partition staged %d event(s)", st.Staged)
+					}
+				}
+				if err := eng.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return log
+			},
+			wantWindows: 0,
+		},
+		{
+			name: "simultaneous cross-domain events at the window boundary",
+			part: &stubPartition{doms: 2, look: 1e-3},
+			run: func(t *testing.T, eng *Engine, parallel bool) []string {
+				var log []string
+				// Both domains schedule events at exactly t = lookahead
+				// (the first window's horizon) and at the horizon of the
+				// window after it. Scheduling order fixes seq order; the
+				// dispatch order must follow it exactly.
+				for _, at := range []float64{1e-3, 1e-3, 2e-3, 2e-3} {
+					at := at
+					for dom := int32(1); dom <= 2; dom++ {
+						dom := dom
+						eng.AtDomain(dom, at, func() {
+							log = append(log, fmt.Sprintf("d%d %s", dom, hexT(eng.Now())))
+						})
+					}
+				}
+				if err := eng.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return log
+			},
+			wantWindows: -1,
+		},
+		{
+			name: "cancel of an event in another domain's future window",
+			part: &stubPartition{doms: 2, look: 1e-4},
+			run: func(t *testing.T, eng *Engine, parallel bool) []string {
+				var log []string
+				// The domain-2 timer sits far beyond the first window.
+				doomed := eng.AtDomain(2, 5e-2, func() { log = append(log, "SHOULD NOT FIRE") })
+				if parallel {
+					if st := eng.WindowStats(); st.Staged != 1 {
+						t.Fatalf("far-future timer not staged: %+v", st)
+					}
+				}
+				before := eng.Pending()
+				eng.AtDomain(1, 1e-3, func() {
+					doomed.Cancel()
+					log = append(log, "cancelled "+hexT(eng.Now()))
+				})
+				if eng.Pending() != before+1 {
+					t.Fatalf("Pending %d, want %d", eng.Pending(), before+1)
+				}
+				if err := eng.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if eng.Pending() != 0 {
+					t.Fatalf("Pending %d after Run, want 0", eng.Pending())
+				}
+				return log
+			},
+			wantWindows: -1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.run(t, New(), false)
+
+			eng := New()
+			eng.SetPartition(tc.part)
+			eng.SetMode(ModeParallel)
+			diffLog(t, "parallel vs serial", serial, tc.run(t, eng, true))
+
+			ws := eng.WindowStats()
+			switch {
+			case tc.wantWindows == 0 && ws.Windows != 0:
+				t.Fatalf("windows = %d, want 0 (degenerate)", ws.Windows)
+			case tc.wantWindows == -1 && ws.Windows == 0:
+				t.Fatalf("windows = 0, want > 0: %+v", ws)
+			}
+		})
+	}
+}
+
+// TestCausalityErrorBadLookahead pins the fault fixture for a zero or
+// negative lookahead link: Run must refuse to start with a typed
+// CausalityError naming the offending value, not silently reorder.
+func TestCausalityErrorBadLookahead(t *testing.T) {
+	for _, look := range []float64{0, -1e-6, math.NaN()} {
+		eng := New()
+		eng.SetPartition(&stubPartition{doms: 4, look: look})
+		eng.SetMode(ModeParallel)
+		eng.Spawn("p", func(p *Proc) { p.Sleep(1e-3) })
+		err := eng.Run()
+		var ce *CausalityError
+		if !errors.As(err, &ce) {
+			t.Fatalf("lookahead %g: Run returned %v, want *CausalityError", look, err)
+		}
+		if ce.Op != OpLookahead {
+			t.Fatalf("lookahead %g: Op = %q, want %q", look, ce.Op, OpLookahead)
+		}
+		if !(ce.Lookahead == look || (math.IsNaN(look) && math.IsNaN(ce.Lookahead))) {
+			t.Fatalf("lookahead %g: error records %g", look, ce.Lookahead)
+		}
+	}
+}
+
+// TestCausalityErrorLookaheadInvalidatedMidRun seeds a partition whose
+// lookahead collapses to zero mid-run (epoch bump, as a fabric merge/split
+// would signal): the next window advance must surface the CausalityError
+// through Run instead of opening a zero-width window.
+func TestCausalityErrorLookaheadInvalidatedMidRun(t *testing.T) {
+	part := &stubPartition{doms: 2, look: 1e-3}
+	eng := New()
+	eng.SetPartition(part)
+	eng.SetMode(ModeParallel)
+	// The staged far-future event forces a window advance after the first
+	// callback has poisoned the partition.
+	eng.AtDomain(2, 5e-2, func() {})
+	eng.AtDomain(1, 5e-4, func() {
+		part.look = 0
+		part.epoch++
+	})
+	err := eng.Run()
+	var ce *CausalityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run returned %v, want *CausalityError", err)
+	}
+	if ce.Op != OpLookahead || ce.Lookahead != 0 {
+		t.Fatalf("got %+v, want Op=%q Lookahead=0", ce, OpLookahead)
+	}
+}
+
+// TestCausalityErrorScheduleBehindFloor pins the fault fixture for an event
+// scheduled behind its component's window floor: the typed panic must name
+// the domain and the offending virtual time.
+func TestCausalityErrorScheduleBehindFloor(t *testing.T) {
+	eng := New()
+	eng.SetPartition(&stubPartition{doms: 3, look: 1e-3})
+	eng.SetMode(ModeParallel)
+	var ce *CausalityError
+	eng.At(2e-3, func() {
+		defer func() {
+			r := recover()
+			var ok bool
+			if ce, ok = r.(*CausalityError); !ok {
+				panic(r)
+			}
+		}()
+		eng.AtDomain(2, 1e-3, func() {}) // behind now (= 2e-3): causality violation
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("scheduling behind the window floor did not panic with a CausalityError")
+	}
+	if ce.Op != OpSchedule || ce.Domain != 2 || ce.At != 1e-3 {
+		t.Fatalf("got %+v, want Op=%q Domain=2 At=1e-3", ce, OpSchedule)
+	}
+	if ce.Floor > ce.At+1e-3 {
+		t.Fatalf("recorded floor %g implausible for violation at %g", ce.Floor, ce.At)
+	}
+	if got := ce.Error(); got == "" {
+		t.Fatal("empty CausalityError message")
+	}
+}
+
+// TestSetModeFlushesStagedEvents flips an engine with staged events back to
+// serial mode and requires every event to survive (promoted to the run
+// queue) and fire in order.
+func TestSetModeFlushesStagedEvents(t *testing.T) {
+	eng := New()
+	eng.SetPartition(&stubPartition{doms: 2, look: 1e-6})
+	eng.SetMode(ModeParallel)
+	var log []float64
+	for i := 5; i > 0; i-- {
+		at := float64(i) * 1e-3
+		eng.AtDomain(int32(i%2)+1, at, func() { log = append(log, eng.Now()) })
+	}
+	if st := eng.WindowStats(); st.Staged != 5 {
+		t.Fatalf("staged %d, want 5", st.Staged)
+	}
+	if eng.Pending() != 5 {
+		t.Fatalf("Pending %d, want 5", eng.Pending())
+	}
+	eng.SetMode(ModeSerial)
+	if eng.Pending() != 5 {
+		t.Fatalf("Pending %d after flush, want 5", eng.Pending())
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 5 {
+		t.Fatalf("%d events fired, want 5", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i-1] >= log[i] {
+			t.Fatalf("events out of order after mode flip: %v", log)
+		}
+	}
+}
+
+// TestPDESResetReplay resets a parallel-mode engine and requires the replay
+// to be hex-identical, with the mode and partition surviving the reset.
+func TestPDESResetReplay(t *testing.T) {
+	eng := New()
+	eng.SetPartition(&stubPartition{doms: 3, look: 5e-4})
+	eng.SetMode(ModeParallel)
+	want := pdesWorkload(t, eng)
+	for i := 0; i < 3; i++ {
+		eng.Reset()
+		if eng.Mode() != ModeParallel {
+			t.Fatal("Reset dropped parallel mode")
+		}
+		diffLog(t, fmt.Sprintf("reset replay %d", i), want, pdesWorkload(t, eng))
+	}
+}
+
+// TestParallelPromotionLargeFanout forces the concurrent promotion path
+// (many domains, hundreds of staged events) and checks dispatch order
+// against the serial engine.
+func TestParallelPromotionLargeFanout(t *testing.T) {
+	const doms = 12
+	const perDom = 40
+	const look = 1e-3
+	build := func(eng *Engine) []string {
+		var log []string
+		for d := int32(1); d <= doms; d++ {
+			d := d
+			for i := 0; i < perDom; i++ {
+				// Deterministic pseudo-scatter of times well past the
+				// first window, interleaved across domains.
+				at := 1e-3 + float64((i*doms+int(d))%97)*1e-4
+				eng.AtDomain(d, at, func() {
+					log = append(log, fmt.Sprintf("d%d %s", d, hexT(eng.Now())))
+				})
+			}
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	serial := build(New())
+	eng := New()
+	eng.SetPartition(&stubPartition{doms: doms, look: look})
+	eng.SetMode(ModeParallel)
+	diffLog(t, "large fanout", serial, build(eng))
+	ws := eng.WindowStats()
+	if ws.Collected != doms*perDom {
+		t.Fatalf("promoted %d events, want %d: %+v", ws.Collected, doms*perDom, ws)
+	}
+	if ws.Windows < 2 {
+		t.Fatalf("only %d window(s) opened: %+v", ws.Windows, ws)
+	}
+}

@@ -86,7 +86,20 @@ type Resource struct {
 	resid float64
 	wsum  float64
 	uf    int32 // union-find scratch for component splitting
+
+	// dom is the PDES domain this resource belongs to (its topology
+	// node; 0 = global, e.g. a switch backplane). Components fold member
+	// resources' domains to tag their completion timers; a component
+	// spanning several domains collapses to the global domain. Set once
+	// at build time, so it survives Reset.
+	dom int32
 }
+
+// SetDomain assigns the resource's PDES domain (0 = global).
+func (r *Resource) SetDomain(d int32) { r.dom = d }
+
+// Domain returns the resource's PDES domain.
+func (r *Resource) Domain() int32 { return r.dom }
 
 // Load returns the resource's current aggregate consumption in bytes/s.
 func (r *Resource) Load() float64 { return r.load }
@@ -217,6 +230,16 @@ type Net struct {
 	flowPool []*Flow // recycled pooled records (see Flow.pooled)
 	finScr   []*Flow // onCompletionTimer scratch, reused across firings
 
+	// epoch counts component-structure changes (merges and splits): the
+	// engine's parallel mode re-derives its lookahead whenever the epoch
+	// moves, since a merge or split may change which links cross domains.
+	epoch uint64
+
+	// Phase-B scratch for the phased sync: components awaiting fill, and
+	// per-worker stats for the parallel fill (see parfill.go).
+	fillScr     []*component
+	fillStatScr []RecomputeStats
+
 	// san, when non-nil, tracks pooled flow records (hiersan). Nil-guarded
 	// at every hook so the disabled hot path stays allocation-free.
 	san *san.Sanitizer
@@ -269,6 +292,11 @@ func (n *Net) Stats() RecomputeStats {
 // Components returns the number of currently active flow components.
 func (n *Net) Components() int { return len(n.comps) }
 
+// Epoch returns the component-structure epoch: it advances on every
+// component merge and split, signalling the engine's conservative parallel
+// mode to re-derive its lookahead.
+func (n *Net) Epoch() uint64 { return n.epoch }
+
 // Reset returns the fabric to its pristine post-NewNet state while keeping
 // the expensive arenas warm: the resource set itself, the flow free list and
 // the completion scratch survive, so a reused fabric allocates nothing on
@@ -287,6 +315,7 @@ func (n *Net) Reset() {
 	n.nextCompID = 0
 	n.syncScheduled = false
 	n.stats = RecomputeStats{}
+	n.epoch = 0
 	for _, r := range n.resources {
 		r.load = 0
 		r.since = 0
@@ -555,6 +584,17 @@ func (n *Net) requestSync() {
 
 // sync recomputes every dirty component (all of them in ModeGlobal), then
 // runs the shadow cross-check when enabled.
+//
+// The pass is phased so the expensive part can fan out: (A) membership —
+// destroy empty components and re-partition fragmented ones, serially,
+// collecting the components that need a refill; (B) fill — progressive
+// filling of each collected component, in parallel when the engine runs in
+// parallel mode and enough components queued up (filling is a pure
+// per-component function touching only that component's flows and
+// resources, the confinement the confine analyzer proves); (C) completion
+// timers, serially in collection order. Only phase C schedules events, and
+// its order matches the old fused per-component loop, so the phased pass
+// consumes the exact same sequence numbers — the event log is unchanged.
 func (n *Net) sync() {
 	n.stats.Syncs++
 	if n.mode == ModeGlobal {
@@ -563,17 +603,42 @@ func (n *Net) sync() {
 			n.markDirty(c)
 		}
 	}
+	fills := n.fillScr[:0]
 	for i := 0; i < len(n.dirty); i++ {
 		c := n.dirty[i]
 		if c.dead || !c.dirtyFlag {
 			continue
 		}
-		n.recomputeComponent(c)
+		c.dirtyFlag = false
+		if len(c.flows) == 0 {
+			n.destroyComponent(c)
+			continue
+		}
+		if c.splitFlag {
+			c.splitFlag = false
+			if parts := n.repartition(c); parts != nil {
+				fills = append(fills, parts...)
+				continue
+			}
+		}
+		fills = append(fills, c)
 	}
 	for i := range n.dirty {
 		n.dirty[i] = nil
 	}
 	n.dirty = n.dirty[:0]
+	if n.eng.Mode() == des.ModeParallel && len(fills) >= parFillMin {
+		n.fillParallel(fills)
+	} else {
+		for _, c := range fills {
+			n.fill(c)
+		}
+	}
+	for i, c := range fills {
+		n.scheduleCompletion(c)
+		fills[i] = nil
+	}
+	n.fillScr = fills[:0]
 	if n.shadow != nil {
 		n.runShadow()
 	}
@@ -650,7 +715,7 @@ func (n *Net) scheduleCompletion(c *component) {
 		next = now
 	}
 	c.timerAt = next
-	c.timer = n.eng.At(next, func() { n.onCompletionTimer(c) })
+	c.timer = n.eng.AtDomain(c.domTag(), next, func() { n.onCompletionTimer(c) })
 }
 
 func sortFlows(fs []*Flow) {

@@ -1,0 +1,67 @@
+package fabric
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parFillMin is the minimum number of refill-pending components before the
+// phased sync fans progressive filling out to worker goroutines; below it
+// the goroutine round-trips cost more than the fills.
+const parFillMin = 4
+
+// parFillMaxProcs caps the fill worker count: beyond a handful of workers
+// the pass is memory-bound on the shared flow/resource arrays.
+const parFillMaxProcs = 8
+
+// fillParallel runs progressive filling over the collected components on
+// worker goroutines. Each component is filled by exactly one worker
+// (claimed via the atomic cursor), filling touches only that component's
+// flows and resources (the confinement the confine analyzer proves), and
+// each worker accumulates its counters into a private RecomputeStats merged
+// after the barrier — the counters are commutative sums, so the totals are
+// identical to a serial pass, and rates are identical because filling is a
+// pure per-component function.
+func (n *Net) fillParallel(comps []*component) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > parFillMaxProcs {
+		workers = parFillMaxProcs
+	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	stats := n.fillStatScr
+	if cap(stats) < workers {
+		stats = make([]RecomputeStats, workers)
+		n.fillStatScr = stats
+	}
+	stats = stats[:workers]
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		st := &stats[w]
+		*st = RecomputeStats{}
+		//hierflow:serial fill workers own disjoint components (claimed via the atomic cursor) and private stats slots; the spawner only resumes after wg.Wait, so no flow or resource is shared between contexts
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(comps) {
+					return
+				}
+				n.fillInto(comps[i], st)
+			}
+		}()
+	}
+	wg.Wait()
+	for w := range stats {
+		n.stats.addFill(&stats[w])
+	}
+}

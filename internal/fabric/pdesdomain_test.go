@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"testing"
+
+	"hierknem/internal/des"
+)
+
+// TestComponentDomainFolding pins the PDES domain algebra: a component
+// entirely inside one domain carries that domain, a flow bridging domains
+// collapses the merged component to the global domain 0, and a split
+// re-folds each part's domain from its surviving resources.
+func TestComponentDomainFolding(t *testing.T) {
+	e := des.New()
+	n := NewNet(e)
+	a1 := n.NewResource("n1/a", 100)
+	a2 := n.NewResource("n1/b", 100)
+	b1 := n.NewResource("n2/a", 100)
+	a1.SetDomain(1)
+	a2.SetDomain(1)
+	b1.SetDomain(2)
+	if a1.Domain() != 1 || b1.Domain() != 2 {
+		t.Fatal("SetDomain/Domain roundtrip failed")
+	}
+
+	// Phase 1: one flow per node — two components, each in its own domain.
+	n.Start(1000, 0, []*Resource{a1, a2}, nil)
+	n.Start(1000, 0, []*Resource{b1}, nil)
+	if got := a1.comp.domTag(); got != 1 {
+		t.Fatalf("intra-domain component folded to %d, want 1", got)
+	}
+	if got := b1.comp.domTag(); got != 2 {
+		t.Fatalf("intra-domain component folded to %d, want 2", got)
+	}
+	if a1.comp == b1.comp {
+		t.Fatal("disjoint flows merged")
+	}
+
+	// Phase 2: a bridging flow merges the components; the merge must bump
+	// the epoch and collapse the domain to global.
+	epoch0 := n.Epoch()
+	bridge := n.Start(1e6, 0, []*Resource{a2, b1}, nil)
+	if a1.comp != b1.comp {
+		t.Fatal("bridging flow did not merge components")
+	}
+	if got := a1.comp.domTag(); got != 0 {
+		t.Fatalf("cross-domain component folded to %d, want 0 (global)", got)
+	}
+	if n.Epoch() == epoch0 {
+		t.Fatal("merge did not bump the component-structure epoch")
+	}
+
+	// Phase 3: drop the bridge; the lazy split at the next sync must
+	// re-fold each surviving part to its own domain and bump the epoch.
+	// (Force the sync directly — running to completion would release the
+	// components before we can inspect them.)
+	epoch1 := n.Epoch()
+	bridge.Abort()
+	n.sync()
+	if n.Epoch() == epoch1 {
+		t.Fatal("split did not bump the component-structure epoch")
+	}
+	if a1.comp == nil || b1.comp == nil {
+		t.Fatal("flows completed prematurely")
+	}
+	if a1.comp == b1.comp {
+		t.Fatal("split did not separate the domains")
+	}
+	if got := a1.comp.domTag(); got != 1 {
+		t.Fatalf("post-split domain %d, want 1", got)
+	}
+	if got := b1.comp.domTag(); got != 2 {
+		t.Fatalf("post-split domain %d, want 2", got)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhasedSyncParallelFillEquivalence drives many disjoint per-domain
+// components through completion churn in both engine modes and requires
+// identical completion times and identical recompute counters — the
+// parallel fill fans the same pure per-component work out to goroutines, so
+// nothing observable may change.
+func TestPhasedSyncParallelFillEquivalence(t *testing.T) {
+	type outcome struct {
+		times []float64
+		stats RecomputeStats
+	}
+	run := func(parallel bool) outcome {
+		e := des.New()
+		n := NewNet(e)
+		const doms = 9
+		if parallel {
+			e.SetPartition(staticPartition{doms: doms, look: 0.5})
+			e.SetMode(des.ModeParallel)
+		}
+		times := make([]float64, 0, doms*3)
+		for d := 0; d < doms; d++ {
+			r1 := n.NewResource("a", 100)
+			r2 := n.NewResource("b", 100)
+			r1.SetDomain(int32(d) + 1)
+			r2.SetDomain(int32(d) + 1)
+			for k := 0; k < 3; k++ {
+				size := float64(400 + 100*k + 10*d)
+				n.Start(size, 0, []*Resource{r1, r2}, func() {
+					times = append(times, e.Now())
+				})
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := n.Stats()
+		return outcome{times: times, stats: st}
+	}
+	serial := run(false)
+	par := run(true)
+	if len(serial.times) != len(par.times) {
+		t.Fatalf("completion count %d vs %d", len(serial.times), len(par.times))
+	}
+	for i := range serial.times {
+		if serial.times[i] != par.times[i] {
+			t.Fatalf("completion %d: %x (serial) vs %x (parallel)", i, serial.times[i], par.times[i])
+		}
+	}
+	if serial.stats != par.stats {
+		t.Fatalf("recompute stats diverged:\nserial   %v\nparallel %v", serial.stats, par.stats)
+	}
+}
+
+type staticPartition struct {
+	doms int
+	look float64
+}
+
+func (s staticPartition) Domains() int       { return s.doms }
+func (s staticPartition) Lookahead() float64 { return s.look }
+func (s staticPartition) Epoch() uint64      { return 0 }

@@ -15,6 +15,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"hierknem/internal/buffer"
 	"hierknem/internal/des"
@@ -132,8 +133,36 @@ func NewWorld(m *topology.Machine, b *topology.Binding, conf Config) (*World, er
 	if san.EnvEnabled() {
 		w.EnableSanitizer()
 	}
+	if engineModeEnv() == des.ModeParallel {
+		w.SetEngineMode(des.ModeParallel)
+	}
 	return w, nil
 }
+
+// engineModeEnv reads the HIERKNEM_ENGINE environment toggle ("parallel"
+// selects conservative parallel mode for every new world). Like HIERSAN, an
+// environment read is deterministic for the life of the process.
+func engineModeEnv() des.EngineMode {
+	if os.Getenv("HIERKNEM_ENGINE") == "parallel" {
+		return des.ModeParallel
+	}
+	return des.ModeSerial
+}
+
+// SetEngineMode switches the world's engine between the serial reference
+// and conservative parallel mode (installing the machine's node partition).
+// Must not be called mid-Run; the mode survives Reset, so a reset world
+// replays in the mode it was left in.
+func (w *World) SetEngineMode(m des.EngineMode) {
+	eng := w.Machine.Eng
+	if m == des.ModeParallel {
+		eng.SetPartition(w.Machine.Partition())
+	}
+	eng.SetMode(m)
+}
+
+// EngineMode returns the engine mode the world runs under.
+func (w *World) EngineMode() des.EngineMode { return w.Machine.Eng.Mode() }
 
 // EnableSanitizer attaches a hiersan runtime to the world and every layer
 // under it (engine, fabric, KNEM devices), returning it so tests can install
@@ -199,6 +228,9 @@ func (w *World) Run(body func(p *Proc)) error {
 		p.dp = w.Machine.Eng.Spawn(p.name, func(dp *des.Proc) {
 			body(p)
 		})
+		// The rank's home domain is its node: its resume events stage
+		// under that node's queue in parallel mode.
+		p.dp.SetDomain(int32(p.core.NodeID) + 1)
 	}
 	err := w.Machine.Eng.Run()
 	if w.san != nil && err != nil {

@@ -53,10 +53,16 @@ type Sweep struct {
 	parallel int
 	progress io.Writer
 
-	jobs []job
-	ran  bool
-	mu   sync.Mutex // serializes progress writes
+	jobs    []job
+	ran     bool
+	engMode des.EngineMode // engine mode every job's worlds run under
+	mu      sync.Mutex     // serializes progress writes
 }
+
+// SetEngineMode selects the engine mode (serial reference or conservative
+// parallel) applied to every world the sweep's jobs obtain through Ctx.
+// Call before Run.
+func (s *Sweep) SetEngineMode(m des.EngineMode) { s.engMode = m }
 
 type job struct {
 	id string
@@ -143,7 +149,7 @@ func (s *Sweep) Run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx := &Ctx{worlds: make(map[worldKey]*mpi.World)}
+			ctx := &Ctx{worlds: make(map[worldKey]*mpi.World), engMode: s.engMode}
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
@@ -194,7 +200,17 @@ type worldKey struct {
 // Ctx is a worker's private job context. Its world cache is never shared:
 // worlds hold engines, and engines are single-threaded by construction.
 type Ctx struct {
-	worlds map[worldKey]*mpi.World
+	worlds  map[worldKey]*mpi.World
+	engMode des.EngineMode
+}
+
+// apply sets the sweep's engine mode on a world about to be handed to a
+// job. The mode survives Reset, so cached worlds only pay the switch once.
+func (c *Ctx) apply(w *mpi.World) *mpi.World {
+	if w.EngineMode() != c.engMode {
+		w.SetEngineMode(c.engMode)
+	}
+	return w
 }
 
 // World returns a pristine world for spec with np ranks under the named
@@ -205,14 +221,14 @@ func (c *Ctx) World(spec topology.Spec, binding string, np int) *mpi.World {
 	key := worldKey{spec: spec, binding: binding, np: np}
 	if w := c.worlds[key]; w != nil {
 		w.Reset()
-		return w
+		return c.apply(w)
 	}
 	w, err := clusters.NewWorld(spec, binding, np)
 	if err != nil {
 		panic(err)
 	}
 	c.worlds[key] = w
-	return w
+	return c.apply(w)
 }
 
 // WorldPPN returns a pristine world with exactly ppn ranks on each node of
@@ -221,7 +237,7 @@ func (c *Ctx) WorldPPN(spec topology.Spec, ppn int) *mpi.World {
 	key := worldKey{spec: spec, np: ppn * spec.Nodes, ppn: ppn}
 	if w := c.worlds[key]; w != nil {
 		w.Reset()
-		return w
+		return c.apply(w)
 	}
 	m, err := topology.Build(spec)
 	if err != nil {
@@ -236,5 +252,5 @@ func (c *Ctx) WorldPPN(spec topology.Spec, ppn int) *mpi.World {
 		panic(err)
 	}
 	c.worlds[key] = w
-	return w
+	return c.apply(w)
 }

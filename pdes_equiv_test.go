@@ -1,0 +1,145 @@
+// Engine-mode equivalence: the conservative parallel DES mode must produce
+// a hex-identical event log to the serial reference engine on every
+// workload — same completion instants, same final clock, same processed
+// count. These tests run full-stack simulations (topology + fabric + MPI +
+// collectives) in both modes and diff the logs entry by entry; they are the
+// root-level gate behind which the window protocol (DESIGN.md §5.4) hides.
+package hierknem_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"hierknem"
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/mpi"
+)
+
+// pdesWorkloads are the collective programs the equivalence tests replay in
+// both engine modes. "churn" mirrors the Table II mixed-collective scenario:
+// alternating collectives at different sizes drive pipeline-chunk flows
+// through repeated fabric component merges and splits, the hardest case for
+// the per-node window partition (every inter-node chunk collapses its
+// component to the global domain and back).
+var pdesWorkloads = []struct {
+	name string
+	prog func(w *hierknem.World, mod hierknem.Module, log *[]string)
+}{
+	{"bcast", func(w *hierknem.World, mod hierknem.Module, log *[]string) {
+		bufs := phantomPerRank(w.Size(), 64<<10)
+		runCollectives(w, log, func(p *mpi.Proc, c *mpi.Comm, me int) {
+			mod.Bcast(p, c, bufs[me], 0)
+		})
+	}},
+	{"reduce", func(w *hierknem.World, mod hierknem.Module, log *[]string) {
+		sbufs := phantomPerRank(w.Size(), 32<<10)
+		rbufs := phantomPerRank(w.Size(), 32<<10)
+		runCollectives(w, log, func(p *mpi.Proc, c *mpi.Comm, me int) {
+			a := coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Float64}
+			mod.Reduce(p, c, a, sbufs[me], rbufs[me], 0)
+		})
+	}},
+	{"allgather", func(w *hierknem.World, mod hierknem.Module, log *[]string) {
+		np := w.Size()
+		sbufs := phantomPerRank(np, 4<<10)
+		rbufs := phantomPerRank(np, np*4<<10)
+		runCollectives(w, log, func(p *mpi.Proc, c *mpi.Comm, me int) {
+			mod.Allgather(p, c, sbufs[me], rbufs[me])
+		})
+	}},
+	{"churn", func(w *hierknem.World, mod hierknem.Module, log *[]string) {
+		np := w.Size()
+		big := phantomPerRank(np, 96<<10)
+		small := phantomPerRank(np, 512)
+		sbufs := phantomPerRank(np, 8<<10)
+		rbufs := phantomPerRank(np, np*8<<10)
+		redIn := phantomPerRank(np, 16<<10)
+		redOut := phantomPerRank(np, 16<<10)
+		runCollectives(w, log, func(p *mpi.Proc, c *mpi.Comm, me int) {
+			mod.Bcast(p, c, big[me], 0)
+			c.Barrier(p)
+			mod.Allgather(p, c, sbufs[me], rbufs[me])
+			a := coll.ReduceArgs{Op: buffer.OpMax, Dtype: buffer.Float64}
+			mod.Reduce(p, c, a, redIn[me], redOut[me], np-1)
+			mod.Bcast(p, c, small[me], 1)
+		})
+	}},
+}
+
+func phantomPerRank(np, size int) []*buffer.Buffer {
+	bufs := make([]*buffer.Buffer, np)
+	for i := range bufs {
+		bufs[i] = buffer.NewPhantom(int64(size))
+	}
+	return bufs
+}
+
+// runCollectives runs body on every rank and appends each rank's hex-exact
+// completion instant plus the engine's final clock and processed count.
+func runCollectives(w *hierknem.World, log *[]string, body func(p *mpi.Proc, c *mpi.Comm, me int)) {
+	err := w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		me := c.Rank(p)
+		body(p, c, me)
+		*log = append(*log, fmt.Sprintf("r%d done %s", me, hexTime(p.Now())))
+	})
+	if err != nil {
+		panic(err)
+	}
+	*log = append(*log, fmt.Sprintf("final %s %d", hexTime(w.Now()), w.Machine.Eng.Processed()))
+}
+
+// pdesModeLog builds a fresh world, switches it to mode, runs workload wi
+// under the HierKNEM module and returns the event log.
+func pdesModeLog(t testing.TB, wi int, mode hierknem.EngineMode) []string {
+	t.Helper()
+	spec := isoSpec()
+	w, err := hierknem.NewWorldPPN(spec, isoPPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetEngineMode(mode)
+	if got := w.EngineMode(); got != mode {
+		t.Fatalf("EngineMode() = %v after SetEngineMode(%v)", got, mode)
+	}
+	mod := hierknem.ForCluster(&spec)
+	var log []string
+	pdesWorkloads[wi].prog(w, mod, &log)
+	if mode == hierknem.EngineParallel {
+		if ws := w.Machine.Eng.WindowStats(); ws.Windows == 0 {
+			t.Fatalf("parallel mode never advanced a window (stats %+v) — the test is not exercising the PDES path", ws)
+		}
+	}
+	return log
+}
+
+// TestEngineModeHexIdenticalLogs is the tentpole gate: for every workload,
+// the parallel engine's event log must equal the serial reference log
+// string-for-string (hex-exact times, identical processed counts).
+func TestEngineModeHexIdenticalLogs(t *testing.T) {
+	for wi, wl := range pdesWorkloads {
+		t.Run(wl.name, func(t *testing.T) {
+			want := pdesModeLog(t, wi, hierknem.EngineSerial)
+			got := pdesModeLog(t, wi, hierknem.EngineParallel)
+			diffLogs(t, wl.name, want, got)
+		})
+	}
+}
+
+// TestEngineModeEnvSelectsParallel pins the HIERKNEM_ENGINE hook the
+// verify script uses to run the whole conformance suite in parallel mode
+// without touching any call site.
+func TestEngineModeEnvSelectsParallel(t *testing.T) {
+	t.Setenv("HIERKNEM_ENGINE", "parallel")
+	w := isoWorld(t)
+	if got := w.EngineMode(); got != hierknem.EngineParallel {
+		t.Fatalf("HIERKNEM_ENGINE=parallel built a %v world", got)
+	}
+	os.Unsetenv("HIERKNEM_ENGINE")
+	w2 := isoWorld(t)
+	if got := w2.EngineMode(); got != hierknem.EngineSerial {
+		t.Fatalf("unset HIERKNEM_ENGINE built a %v world", got)
+	}
+}

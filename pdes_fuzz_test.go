@@ -1,0 +1,130 @@
+// FuzzPDESDiff is the differential fuzz gate for the conservative parallel
+// engine: every input decodes into a random (topology, collective program)
+// pair, runs once on the serial reference engine and once in ModeParallel,
+// and fails on any event-log divergence — a hex-exact time, a rank's
+// completion order, the final clock or the processed-event count. The seed
+// corpus covers the Table II mixed-collective scenario, whose alternating
+// message sizes drive pipeline-chunk flows through repeated fabric
+// component merges and splits — the churn that stresses the per-node window
+// partition hardest.
+package hierknem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hierknem"
+	"hierknem/internal/buffer"
+	"hierknem/internal/coll"
+	"hierknem/internal/mpi"
+)
+
+const (
+	fuzzMaxOps = 6
+)
+
+// fuzzOp is one collective in a fuzzed program.
+type fuzzOp struct {
+	kind int // 0 bcast, 1 reduce, 2 allgather, 3 barrier
+	size int64
+	root int
+}
+
+// decodePDESPlan turns fuzz bytes into a cluster shape and a collective
+// program. Every decoded plan is valid by construction, so a divergence is
+// an engine bug, not an ill-formed input.
+func decodePDESPlan(data []byte) (nodes, ppn int, ops []fuzzOp) {
+	nodes, ppn = 2, 2
+	if len(data) > 0 {
+		nodes = 2 + int(data[0])%3 // 2..4
+	}
+	if len(data) > 1 {
+		ppn = 2 + int(data[1])%3 // 2..4
+	}
+	np := nodes * ppn
+	for i := 2; i+1 < len(data) && len(ops) < fuzzMaxOps; i += 2 {
+		ops = append(ops, fuzzOp{
+			kind: int(data[i]) % 4,
+			// 64B .. 128KB: spans the eager threshold and the pipeline
+			// chunk sizes, so flows merge and split mid-collective.
+			size: int64(1) << (6 + int(data[i+1])%12),
+			root: int(data[i+1]) % np,
+		})
+	}
+	return nodes, ppn, ops
+}
+
+// runPDESPlan executes the program on a fresh world in the given mode and
+// returns its event log (per-rank hex completion times per op, final clock,
+// processed count).
+func runPDESPlan(t *testing.T, nodes, ppn int, ops []fuzzOp, mode hierknem.EngineMode) []string {
+	t.Helper()
+	spec := hierknem.Stremi(nodes)
+	w, err := hierknem.NewWorldPPN(spec, ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetEngineMode(mode)
+	mod := hierknem.ForCluster(&spec)
+	np := w.Size()
+
+	// Per-(op, rank) buffers, allocated identically for both runs.
+	bufs := make([][]*buffer.Buffer, len(ops))
+	rbufs := make([][]*buffer.Buffer, len(ops))
+	for k, op := range ops {
+		switch op.kind {
+		case 0:
+			bufs[k] = phantomPerRank(np, int(op.size))
+		case 1:
+			bufs[k] = phantomPerRank(np, int(op.size))
+			rbufs[k] = phantomPerRank(np, int(op.size))
+		case 2:
+			bufs[k] = phantomPerRank(np, int(op.size))
+			rbufs[k] = phantomPerRank(np, np*int(op.size))
+		}
+	}
+
+	log := make([]string, 0, (len(ops)+1)*np+1)
+	err = w.Run(func(p *mpi.Proc) {
+		c := w.WorldComm()
+		me := c.Rank(p)
+		for k, op := range ops {
+			switch op.kind {
+			case 0:
+				mod.Bcast(p, c, bufs[k][me], op.root)
+			case 1:
+				a := coll.ReduceArgs{Op: buffer.OpSum, Dtype: buffer.Float64}
+				mod.Reduce(p, c, a, bufs[k][me], rbufs[k][me], op.root)
+			case 2:
+				mod.Allgather(p, c, bufs[k][me], rbufs[k][me])
+			case 3:
+				c.Barrier(p)
+			}
+			log = append(log, fmt.Sprintf("op%d r%d %s", k, me, hexTime(p.Now())))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log = append(log, fmt.Sprintf("final %s %d", hexTime(w.Now()), w.Machine.Eng.Processed()))
+	return log
+}
+
+func FuzzPDESDiff(f *testing.F) {
+	// Seeds: degenerate shapes, then Table II-style mixed-collective churn
+	// (bcast/allgather/reduce alternating across the eager threshold and
+	// pipeline sizes, varying roots) on 2-4 nodes.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 10})             // 2x2, one 64KB bcast
+	f.Add([]byte{1, 1, 3, 0})              // 3x3, lone barrier
+	f.Add([]byte{2, 2, 0, 11, 2, 5, 1, 8, 3, 0, 0, 1}) // 4x4 Table II churn: big bcast, allgather, reduce, barrier, tiny bcast
+	f.Add([]byte{1, 0, 2, 9, 1, 9, 2, 3, 0, 7})        // 3x2: allgather/reduce/allgather/bcast merge-split churn
+	f.Add([]byte{0, 2, 1, 0, 1, 11, 0, 4, 2, 2})       // 2x4: small reduce, huge reduce, bcast, allgather
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nodes, ppn, ops := decodePDESPlan(data)
+		want := runPDESPlan(t, nodes, ppn, ops, hierknem.EngineSerial)
+		got := runPDESPlan(t, nodes, ppn, ops, hierknem.EngineParallel)
+		diffLogs(t, fmt.Sprintf("pdes diff %dx%d %v", nodes, ppn, ops), want, got)
+	})
+}

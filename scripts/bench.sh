@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — the reproducible performance harness.
 #
-# Three suites, each distilled to a checked-in JSON document via cmd/benchjson:
+# Four suites, each distilled to a checked-in JSON document via cmd/benchjson:
 #
 #   1. BenchmarkDES* (DES hot-path overhaul): event throughput and allocation
 #      rate of the engine + matching layer, compared against the checked-in
@@ -22,6 +22,13 @@
 #      (always enforced — parallelism must be invisible in the output), and
 #      on hosts with >=4 cores the parallel run must be >=3x faster.
 #
+#   4. BenchmarkPDES* (conservative parallel DES engine): the Fig3a 768-rank
+#      broadcast run under mode=serial and mode=parallel. events/op must
+#      agree exactly between the modes (always enforced — the parallel
+#      engine promises a hex-identical event log); on hosts with >=4 cores
+#      the parallel engine must reach >=2x the serial events/sec, waived
+#      (and recorded as waived) on smaller hosts like the sweep gate.
+#
 # Environment knobs:
 #   DES_COUNT        -count for the DES suite (default 3; means are compared)
 #   MIN_SPEEDUP      enforced events/sec ratio vs. baseline (default 1.5)
@@ -33,6 +40,9 @@
 #                    full evaluation at CI scale, see below)
 #   SWEEP_WORKERS    -parallel for the parallel sweep run (default: nproc)
 #   MIN_SWEEP_SPEEDUP  enforced sweep speedup at >=4 cores (default 3)
+#   PDES_COUNT       -count for the PDES suite (default 3; means are compared)
+#   MIN_PDES_SPEEDUP enforced parallel-engine events/sec speedup at >=4
+#                    cores (default 2)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -98,4 +108,15 @@ go run ./cmd/benchjson \
     $identical \
     -o results/BENCH_sweep.json
 
-echo "bench: wrote results/BENCH_des.json, BENCH_fabric.json and BENCH_sweep.json (criteria passed)"
+echo "==> go test -bench BenchmarkPDES (-count ${PDES_COUNT:-3}, GOGC=$GOGC)"
+go test -run '^$' -bench 'BenchmarkPDES' -count "${PDES_COUNT:-3}" -benchmem . |
+    tee results/bench_pdes.txt
+
+echo "==> benchjson -schema pdes -> results/BENCH_pdes.json"
+go run ./cmd/benchjson \
+    -schema pdes \
+    -min-pdes-speedup "${MIN_PDES_SPEEDUP:-2}" \
+    -enforce 'Fig3a' \
+    -o results/BENCH_pdes.json < results/bench_pdes.txt
+
+echo "bench: wrote results/BENCH_des.json, BENCH_fabric.json, BENCH_sweep.json and BENCH_pdes.json (criteria passed)"

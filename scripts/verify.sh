@@ -11,9 +11,15 @@
 #             both timings so result-cache effectiveness stays visible;
 #             also gates that all ten analyzers are registered.
 #   test      the full suite under the race detector
+#   pdes      the root conformance/equivalence/isolation suites rerun with
+#             HIERKNEM_ENGINE=parallel (every world on the conservative
+#             parallel engine) — the serial run just passed under `test`,
+#             so any divergence the hex-exact log comparisons catch is the
+#             parallel engine's
 #   san       the conformance/isolation suites under HIERSAN=1 (the hiersan
 #             dynamic sanitizer) plus the seeded fault fixtures
-#   fuzz      10s FuzzMatch smoke over the p2p matching machinery
+#   fuzz      10s FuzzMatch smoke over the p2p matching machinery, then 10s
+#             FuzzPDESDiff differential smoke (serial vs parallel engine)
 #   bench     the perf harness (scripts/bench.sh): DES hot-path suite vs
 #             checked-in baseline, fabric-allocator >=2x resource-visit
 #             criterion, and the parallel sweep gate (byte-identical
@@ -46,12 +52,17 @@ echo "hierlint timing: first run $(( (t1 - t0) / 1000000 ))ms, warm-cache run $(
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> pdes (HIERKNEM_ENGINE=parallel conformance + equivalence + isolation)"
+HIERKNEM_ENGINE=parallel go test . -run 'Conformance|EngineMode|Isolation|ParallelRuns|WorldReset'
+
 echo "==> san (HIERSAN=1 conformance + seeded faults)"
 HIERSAN=1 go test ./... -run 'Conformance|Isolation'
+HIERSAN=1 HIERKNEM_ENGINE=parallel go test . -run 'Conformance|EngineMode'
 go test ./internal/des ./internal/mpi -run 'Sanitizer|StallAutopsy|MaxTimeAbort'
 
-echo "==> fuzz smoke (FuzzMatch, 10s)"
+echo "==> fuzz smoke (FuzzMatch, 10s; FuzzPDESDiff, 10s)"
 go test ./internal/mpi -run '^$' -fuzz '^FuzzMatch$' -fuzztime 10s
+go test . -run '^$' -fuzz '^FuzzPDESDiff$' -fuzztime 10s
 
 echo "==> bench (DES hot path + fabric allocator + parallel sweep)"
 scripts/bench.sh

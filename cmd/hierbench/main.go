@@ -34,11 +34,12 @@ import (
 )
 
 type config struct {
-	nodes   int
-	iters   int
-	aspN    int
-	aspDim  int // nodes used for the ASP study
-	engMode hierknem.EngineMode
+	nodes      int
+	iters      int
+	aspN       int
+	aspDim     int // nodes used for the ASP study
+	engMode    hierknem.EngineMode
+	engWorkers int
 }
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 	aspNodes := flag.Int("asp-nodes", 8, "nodes for the ASP study (paper: 32)")
 	parallel := flag.Int("parallel", 0, "concurrent data-point simulations (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "serial", "DES engine mode: serial (reference) or parallel (conservative windows)")
+	workers := flag.Int("workers", 0, "in-window phase workers per simulation under -engine parallel (0 = engine default, 1 = degenerate fast path)")
 	flag.Parse()
 
 	var engMode hierknem.EngineMode
@@ -62,7 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := config{nodes: *nodes, iters: *iters, aspN: *aspN, aspDim: *aspNodes, engMode: engMode}
+	cfg := config{nodes: *nodes, iters: *iters, aspN: *aspN, aspDim: *aspNodes, engMode: engMode, engWorkers: *workers}
 
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -84,6 +86,7 @@ func main() {
 func runExperiments(ids []string, cfg config, parallel int, progress io.Writer) error {
 	s := sweep.New("hierbench", parallel, progress)
 	s.SetEngineMode(cfg.engMode)
+	s.SetEngineWorkers(cfg.engWorkers)
 	renders := make([]func(), 0, len(ids))
 	for _, id := range ids {
 		renders = append(renders, experiments[id](cfg, s))

@@ -68,8 +68,12 @@ type (
 )
 
 // Engine modes: the serial reference, and the conservative parallel mode
-// that stages per-node event queues inside bounded virtual-time windows
-// while keeping the event log bit-identical to serial.
+// that stages per-node event queues inside bounded virtual-time windows —
+// and, when a window's runnable events are all node-confined, executes the
+// nodes on concurrent workers — while keeping the event log bit-identical
+// to serial. The worker count is tuned with World.SetEngineWorkers or the
+// HIERKNEM_WORKERS environment variable; 1 selects a degenerate engine with
+// no window machinery at all (the small-host fast path).
 const (
 	EngineSerial   = des.ModeSerial
 	EngineParallel = des.ModeParallel

@@ -85,11 +85,13 @@ type Engine struct {
 	// Parallel-mode state (pdes.go). par is nil in serial mode, so the
 	// serial hot path pays one nil check per schedule/pop. curDom is the
 	// ambient domain tag: the domain of the event being dispatched, used
-	// to tag events scheduled from callbacks.
-	mode      EngineMode
-	partition Partition
-	par       *parstate
-	curDom    int32
+	// to tag events scheduled from callbacks. workersReq is the SetWorkers
+	// request (0 = auto).
+	mode       EngineMode
+	partition  Partition
+	par        *parstate
+	curDom     int32
+	workersReq int
 
 	// san, when non-nil, receives pool-provenance and sync-edge hooks
 	// (hiersan). Every hook site is nil-guarded so the disabled hot path
@@ -124,9 +126,17 @@ type event struct {
 	fn      func()
 	proc    *Proc  // non-nil: resume proc if it is still parked at parkGen
 	parkGen uint64 // park generation the resume targets
-	idx     int    // heap position; bucketIdx in the bucket; -1 detached
+	idx     int    // heap position; bucketIdx in the bucket; outboxIdx in a worker outbox; -1 detached
 	dom     int32  // domain tag (parallel mode staging + causality reports)
 	inDom   int32  // staging heap index while staged; -1 in queue/bucket
+	// shared marks an event whose callback reads or writes cross-domain
+	// state (scheduled via the *Shared variants — the fabric's machinery);
+	// a window containing one never executes in parallel. confined marks a
+	// callback event scheduled by a confined process through Proc.After —
+	// the only fn events the census admits to a parallel phase (resume
+	// events are judged by their process's declaration instead).
+	shared   bool
+	confined bool
 }
 
 // bucketIdx marks an event as living in the now-bucket rather than the heap.
@@ -151,6 +161,8 @@ func (e *Engine) alloc(at float64) *event {
 	// Recycled and fresh records alike must start detached from the
 	// staging heaps: the zero value 0 would read as "staged in heap 0".
 	ev.inDom = -1
+	ev.shared = false
+	ev.confined = false
 	e.seq++
 	if e.san != nil {
 		e.san.PoolAlloc(san.KindEvent, ev, "")
@@ -248,6 +260,10 @@ func (t *Timer) Cancel() {
 	if ev.gen != t.gen {
 		return // already fired or recycled
 	}
+	if par := eng.par; par != nil && par.inPhase {
+		eng.cancelInPhase(ev, t.gen)
+		return
+	}
 	switch {
 	case ev.inDom >= 0:
 		// Staged in a parallel-mode domain heap — possibly a domain other
@@ -287,6 +303,32 @@ func (e *Engine) After(d float64, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
+// After schedules fn to run d seconds after the process's current time,
+// tagged with the process's home domain. Unlike Engine.After it is valid
+// from inside a parallel window phase: the event routes to the owning
+// domain's private queue (or outbox, beyond the horizon), and its callback
+// will execute on that domain's worker — so fn must touch only the
+// process's own domain, like all confined code.
+func (p *Proc) After(d float64, fn func()) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", d))
+	}
+	e := p.eng
+	if par := e.par; par != nil && par.inPhase {
+		ws := par.phaseWS(p.dom)
+		if ws == nil {
+			panic(par.confineViolation(p.dom, e.now+d))
+		}
+		ev := ws.schedule(ws.now+d, p.dom)
+		ev.fn = fn
+		ev.confined = true // in-phase by definition; keeps outboxed events eligible
+		return Timer{eng: e, ev: ev, gen: ev.gen}
+	}
+	t := e.atDomain(p.dom, e.now+d, fn, false)
+	t.ev.confined = p.confined
+	return t
+}
+
 // Proc is a simulated process: a goroutine whose execution is interleaved
 // with virtual time under engine control.
 type Proc struct {
@@ -306,8 +348,11 @@ type Proc struct {
 	started     bool
 
 	// dom is the process's home domain (SetDomain); its resume events
-	// stage under this domain in parallel mode. 0 = global.
-	dom int32
+	// stage under this domain in parallel mode. 0 = global. confined is
+	// the EnterConfined/ExitConfined declaration (parexec.go) that lets
+	// windows of this process's events execute on parallel workers.
+	dom      int32
+	confined bool
 
 	// awaitRemaining and awaitDone back Await/AwaitAll without a fresh
 	// counter and closure per call: a process runs at most one await at a
@@ -325,13 +370,25 @@ func (p *Proc) Name() string { return p.name }
 // Engine returns the engine this process runs on.
 func (p *Proc) Engine() *Engine { return p.eng }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() float64 { return p.eng.now }
+// Now returns the current virtual time — during a parallel window phase,
+// the process's own domain clock (the engine clock is frozen at the window
+// floor while workers run).
+func (p *Proc) Now() float64 {
+	if par := p.eng.par; par != nil && par.inPhase {
+		if ws := par.phaseWS(p.dom); ws != nil {
+			return ws.now
+		}
+	}
+	return p.eng.now
+}
 
 // Spawn creates a process that will start executing body at the current
 // virtual time. body runs on its own goroutine under the engine's cooperative
 // scheduler; when body returns the process terminates.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	if par := e.par; par != nil && par.inPhase {
+		panic("des: Spawn inside a parallel window phase")
+	}
 	p := &Proc{eng: e, id: len(e.procs), name: name, resume: make(chan struct{})}
 	p.awaitDone = func() {
 		p.awaitRemaining--
@@ -351,6 +408,13 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 		p.started = true
 		body(p)
 		p.done = true
+		if par := e.par; par != nil && par.inPhase {
+			// The alive counter and the global dispatch loop below are
+			// coordinator state; a process must leave its confined region
+			// (ExitConfined re-homes it through a serial window) before
+			// returning. Unrecovered on purpose: this kills the run loudly.
+			panic("des: process " + p.name + " exited inside a parallel window phase; call ExitConfined before returning")
+		}
 		e.alive--
 		// The exiting goroutine carries the baton forward: it dispatches
 		// until the baton moves to another process (or back to Run), then
@@ -370,7 +434,21 @@ func (p *Proc) park(wakeable bool) {
 	p.parkGen++
 	p.parkedFlag = true
 	p.wakeable = wakeable
-	if !p.eng.dispatch(p, false) {
+	var kept bool
+	if par := p.eng.par; par != nil && par.inPhase {
+		// Inside a phase the baton is domain-local: the parking process
+		// dispatches its own domain's private queue. If that drains, the
+		// baton goes back to the owning worker and the process blocks —
+		// its resume may arrive from this phase or a later window.
+		ws := par.phaseWS(p.dom)
+		if ws == nil {
+			panic(par.confineViolation(p.dom, p.eng.now))
+		}
+		kept = ws.dispatch(p)
+	} else {
+		kept = p.eng.dispatch(p, false)
+	}
+	if !kept {
 		<-p.resume
 	}
 	p.parkedFlag = false
@@ -414,6 +492,14 @@ func (p *Proc) Sleep(d float64) {
 		panic(fmt.Sprintf("des: negative sleep %g", d))
 	}
 	e := p.eng
+	if par := e.par; par != nil && par.inPhase {
+		ws := par.phaseWS(p.dom)
+		if ws == nil {
+			panic(par.confineViolation(p.dom, e.now))
+		}
+		ws.sleep(p, d)
+		return
+	}
 	t := e.now + d
 	if e.bucketPos == len(e.bucket) &&
 		(len(e.queue) == 0 || e.queue[0].at > t) &&
@@ -447,6 +533,25 @@ func (p *Proc) Park() {
 // (another process's body or an event callback), never from outside Run.
 func (p *Proc) Wake() {
 	if p.done || p.pendingWake {
+		return
+	}
+	if par := p.eng.par; par != nil && par.inPhase {
+		// A wake issued from worker context must target a process of a
+		// phase domain (in practice: the waker's own — confined code only
+		// wakes node-local peers); anything else couples domains.
+		ws := par.phaseWS(p.dom)
+		if ws == nil {
+			panic(par.confineViolation(p.dom, p.eng.now))
+		}
+		if s := p.eng.san; s != nil {
+			if cur := ws.current; cur != nil && cur != p {
+				s.SyncEdge(cur.id, p.id)
+			}
+		}
+		p.pendingWake = true
+		if p.parkedFlag && p.wakeable {
+			ws.resumeEventFor(p, p.parkGen, ws.now)
+		}
 		return
 	}
 	if s := p.eng.san; s != nil {
@@ -502,9 +607,11 @@ func (e *Engine) Run() error {
 	// time on collective-heavy workloads. Restored on exit; a no-op when
 	// GOMAXPROCS is already 1. Skipped under SetHostPinning(false): the
 	// knob is process-wide, so concurrent engines must leave it alone.
-	// Parallel mode also skips it — window promotion and the fabric's
-	// parallel fill fan out across Ps mid-run.
-	if hostPinning.Load() && e.par == nil {
+	// Parallel mode also skips it — window phases, promotion and the
+	// fabric's parallel fill fan out across Ps mid-run — except at an
+	// explicit one-worker configuration, which never fans out and wants
+	// the serial engine's handoff locality back.
+	if hostPinning.Load() && (e.par == nil || e.par.workers < 2) {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	}
 	if ce := e.checkLookahead(); ce != nil {
@@ -547,8 +654,29 @@ func (e *Engine) dispatch(self *Proc, onMain bool) bool {
 		if ev == nil {
 			// Parallel mode: a drained run queue is the window barrier.
 			// Open the next window if anything is staged, then resume.
-			if e.par != nil && e.advanceWindow() {
-				continue
+			if e.par != nil {
+				switch e.advanceWindow() {
+				case windowAdvanced:
+					continue
+				case windowPhase:
+					// The census passed: execute the window's domains on
+					// parallel workers. The coordinating goroutine must not
+					// be a process a worker could resume — a parking
+					// process whose own domain is active would deadlock
+					// (worker sends its resume while it sits in the phase
+					// join). Hand such phases to a fresh goroutine that
+					// coordinates and then carries the baton onward.
+					if self != nil && e.par.domListed(self.dom) {
+						//hierflow:serial phase handoff: the spawned goroutine becomes the sole coordinator/dispatcher while the parking process blocks on its resume channel; the baton moves exactly once
+						go func() {
+							e.runPhase(e.par.activeScratch)
+							e.dispatch(nil, false)
+						}()
+						return false
+					}
+					e.runPhase(e.par.activeScratch)
+					continue
+				}
 			}
 			return e.finish(onMain)
 		}

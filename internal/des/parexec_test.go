@@ -1,0 +1,293 @@
+// Unit tests for parallel in-window phase execution: confined processes
+// running concurrently on workers must replay the serial engine hex-exactly,
+// cross-window machinery (outbox merge, deferred cancels) must be invisible
+// in the committed log, and every coupling escape hatch must panic loudly.
+package des
+
+import (
+	"fmt"
+	"testing"
+)
+
+// phaseWorkload drives three confined processes through enough rounds of
+// sleeps and own-domain timers to cross several lookahead windows. Confined
+// rounds record into per-domain slices (each touched only by its owning
+// worker); the shared log is only appended from serial context, after
+// ExitConfined.
+func phaseWorkload(t *testing.T, eng *Engine) []string {
+	t.Helper()
+	const doms = 3
+	perDom := make([][]string, doms)
+	var log []string
+	for d := 0; d < doms; d++ {
+		d := d
+		p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+			p.EnterConfined(int32(d) + 1)
+			for i := 0; i < 6; i++ {
+				fired := false
+				tm := p.After(3e-4, func() { fired = true })
+				p.Sleep(2e-4 * float64(d+1)) // fast and slow sleep paths
+				if i%2 == 0 {
+					tm.Cancel() // own-domain cancel, in or out of phase
+				}
+				p.Sleep(3e-4)
+				perDom[d] = append(perDom[d], fmt.Sprintf("d%d i%d fired=%v %s", d, i, fired, hexT(p.Now())))
+			}
+			p.ExitConfined(5e-4)
+			log = append(log, fmt.Sprintf("exit d%d %s", d, hexT(p.Now())))
+		})
+		p.SetDomain(int32(d) + 1)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < doms; d++ {
+		log = append(log, perDom[d]...)
+	}
+	log = append(log, fmt.Sprintf("final %s seq=%d processed=%d", hexT(eng.Now()), eng.seq, eng.Processed()))
+	return log
+}
+
+func parallelEngine(doms int, look float64, workers int) *Engine {
+	eng := New()
+	eng.SetPartition(&stubPartition{doms: doms, look: look})
+	eng.SetMode(ModeParallel)
+	if workers > 0 {
+		eng.SetWorkers(workers)
+	}
+	return eng
+}
+
+// TestPhaseExecutionHexIdentical is the unit-level tentpole gate: the
+// confined workload must replay the serial engine hex-exactly — including
+// the final event sequence counter, so seq-block preallocation provably
+// assigns the same sequence numbers serial dispatch would — at every worker
+// count, and actually execute phases whenever two or more workers exist.
+func TestPhaseExecutionHexIdentical(t *testing.T) {
+	want := phaseWorkload(t, New())
+	for _, workers := range []int{1, 2, 3, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			eng := parallelEngine(3, 5e-4, workers)
+			diffLog(t, "phase vs serial", want, phaseWorkload(t, eng))
+			ws := eng.WindowStats()
+			if workers == 1 {
+				if ws.Windows != 0 {
+					t.Fatalf("one-worker engine ran window machinery: %+v", ws)
+				}
+				return
+			}
+			if ws.Windows == 0 || ws.Phases == 0 || ws.PhaseEv == 0 {
+				t.Fatalf("no parallel phase executed: %+v", ws)
+			}
+		})
+	}
+}
+
+// TestPhaseOutboxBeyondHorizon pins the outbox path: a confined timer set
+// farther ahead than the lookahead cannot stay in the phase's private
+// window, so it rides a worker outbox to the coordinator and fires — at the
+// serial engine's exact instant — in a later window.
+func TestPhaseOutboxBeyondHorizon(t *testing.T) {
+	run := func(eng *Engine) []string {
+		perDom := make([][]string, 2)
+		for d := 0; d < 2; d++ {
+			d := d
+			p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+				p.EnterConfined(int32(d) + 1)
+				// 4x the lookahead: staged via the outbox mid-phase. The
+				// callback reads the phase-aware Proc clock — Engine.Now is
+				// deliberately frozen at the floor while workers run.
+				p.After(2e-3, func() {
+					perDom[d] = append(perDom[d], fmt.Sprintf("far d%d %s", d, hexT(p.Now())))
+				})
+				for i := 0; i < 8; i++ {
+					p.Sleep(4e-4)
+				}
+				p.ExitConfined(5e-4)
+			})
+			p.SetDomain(int32(d) + 1)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var log []string
+		for d := 0; d < 2; d++ {
+			log = append(log, perDom[d]...)
+		}
+		return append(log, fmt.Sprintf("final %s %d", hexT(eng.Now()), eng.Processed()))
+	}
+	want := run(New())
+	if len(want) != 3 {
+		t.Fatalf("far timers fired %d times, want 2: %v", len(want)-1, want)
+	}
+	eng := parallelEngine(2, 5e-4, 2)
+	diffLog(t, "outbox", want, run(eng))
+	if ws := eng.WindowStats(); ws.Phases == 0 {
+		t.Fatalf("no phase executed: %+v", ws)
+	}
+}
+
+// TestPhaseDeferredCrossDomainCancel pins the deferred-cancel path: a
+// confined process cancels, mid-phase, a timer staged under another domain
+// in a future window. The cancel must win (the callback never fires) and
+// the log must stay hex-identical to serial, where the cancel is immediate.
+func TestPhaseDeferredCrossDomainCancel(t *testing.T) {
+	run := func(eng *Engine) []string {
+		var log []string
+		// Victim timer: staged under domain 2, far beyond every phase the
+		// canceller executes in.
+		doomed := eng.AtDomain(2, 6e-3, func() { log = append(log, "SHOULD NOT FIRE") })
+		for d := 0; d < 2; d++ {
+			d := d
+			p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+				p.EnterConfined(int32(d) + 1)
+				for i := 0; i < 6; i++ {
+					p.Sleep(4e-4)
+					if d == 0 && i == 3 {
+						// ~1.6e-3: several windows in, inside a phase when
+						// one is eligible.
+						doomed.Cancel()
+					}
+				}
+				p.ExitConfined(5e-4)
+				log = append(log, fmt.Sprintf("exit d%d %s", d, hexT(p.Now())))
+			})
+			p.SetDomain(int32(d) + 1)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return append(log, fmt.Sprintf("final %s %d", hexT(eng.Now()), eng.Processed()))
+	}
+	want := run(New())
+	for _, e := range want {
+		if e == "SHOULD NOT FIRE" {
+			t.Fatalf("serial reference fired the cancelled timer: %v", want)
+		}
+	}
+	eng := parallelEngine(2, 5e-4, 2)
+	diffLog(t, "deferred cancel", want, run(eng))
+	if ws := eng.WindowStats(); ws.Phases == 0 {
+		t.Fatalf("no phase executed — the cancel was never deferred: %+v", ws)
+	}
+}
+
+// TestPhaseCouplingPanics pins the loud-failure guards: from inside a
+// parallel window phase, every operation that would couple domains — an
+// ambient-domain At, a Shared schedule, a Spawn — panics instead of
+// diverging silently.
+func TestPhaseCouplingPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		op   func(p *Proc)
+	}{
+		{"engine At", func(p *Proc) { p.eng.At(p.eng.Now()+1e-5, func() {}) }},
+		{"shared After", func(p *Proc) { p.eng.AfterShared(1e-5, func() {}) }},
+		{"spawn", func(p *Proc) { p.eng.Spawn("late", func(*Proc) {}) }},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eng := parallelEngine(2, 5e-4, 2)
+			panicked := 0
+			for d := 0; d < 2; d++ {
+				d := d
+				p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+					p.EnterConfined(int32(d) + 1)
+					for i := 0; i < 6; i++ {
+						p.Sleep(4e-4)
+						if d == 0 && i == 3 && eng.InWorkerPhase() {
+							func() {
+								defer func() {
+									if recover() != nil {
+										panicked++
+									}
+								}()
+								tc.op(p)
+							}()
+						}
+					}
+					p.ExitConfined(5e-4)
+				})
+				p.SetDomain(int32(d) + 1)
+			}
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if ws := eng.WindowStats(); ws.Phases == 0 {
+				t.Fatalf("no phase executed — guard never probed: %+v", ws)
+			}
+			if panicked != 1 {
+				t.Fatalf("%s inside a phase panicked %d times, want 1", tc.name, panicked)
+			}
+		})
+	}
+}
+
+// TestSetWorkersValidation pins SetWorkers' contract: negative counts and
+// mid-run calls panic; 0 resolves to the host-derived default, clamped to
+// [2, 8].
+func TestSetWorkersValidation(t *testing.T) {
+	eng := New()
+	mustPanic := func(label string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", label)
+			}
+		}()
+		fn()
+	}
+	mustPanic("SetWorkers(-1)", func() { eng.SetWorkers(-1) })
+	if w := eng.Workers(); w < 2 || w > 8 {
+		t.Fatalf("default Workers() = %d, want 2..8", w)
+	}
+	eng.SetWorkers(5)
+	if w := eng.Workers(); w != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", w)
+	}
+	eng.Spawn("probe", func(p *Proc) {
+		mustPanic("SetWorkers mid-run", func() { eng.SetWorkers(3) })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhaseResetReplay resets a phased engine and requires hex-identical
+// replays, with the worker count surviving the reset.
+func TestPhaseResetReplay(t *testing.T) {
+	eng := parallelEngine(3, 5e-4, 3)
+	want := phaseWorkload(t, eng)
+	if ws := eng.WindowStats(); ws.Phases == 0 {
+		t.Fatalf("no phase executed: %+v", ws)
+	}
+	for i := 0; i < 3; i++ {
+		eng.Reset()
+		if eng.Workers() != 3 {
+			t.Fatal("Reset dropped the worker count")
+		}
+		diffLog(t, fmt.Sprintf("phase reset replay %d", i), want, phaseWorkload(t, eng))
+	}
+}
+
+// TestRunOnWorkersFanOut pins the shared fan-out primitive: every worker
+// index runs exactly once, and a worker panic propagates to the caller.
+func TestRunOnWorkersFanOut(t *testing.T) {
+	hit := make([]int, 6)
+	RunOnWorkers(len(hit), func(w int) { hit[w]++ })
+	for w, n := range hit {
+		if n != 1 {
+			t.Fatalf("worker %d ran %d times", w, n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+	}()
+	RunOnWorkers(3, func(w int) {
+		if w == 1 {
+			panic("boom")
+		}
+	})
+}

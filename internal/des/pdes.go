@@ -42,7 +42,6 @@ package des
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -93,6 +92,12 @@ const (
 	// OpLookahead: the partition reported a non-positive lookahead while
 	// more than one domain is active.
 	OpLookahead = "lookahead"
+	// OpConfine: an operation inside a parallel window phase coupled two
+	// domains — scheduling below the horizon for a foreign domain, waking a
+	// process homed outside the phase's active domains, or entering the
+	// engine through a non-confined API (At/After/AtDomain) from worker
+	// context.
+	OpConfine = "confine"
 )
 
 // CausalityError reports a conservative-PDES precondition violation: an
@@ -112,6 +117,11 @@ func (c *CausalityError) Error() string {
 		return fmt.Sprintf(
 			"des: causality: non-positive lookahead %g at t=%g; conservative windows cannot advance across >1 domains",
 			c.Lookahead, c.At)
+	}
+	if c.Op == OpConfine {
+		return fmt.Sprintf(
+			"des: causality: operation touching domain %d at t=%g from inside a parallel window [%g, %g) couples another domain; confined code may only act on its own domain below the horizon",
+			c.Domain, c.At, c.Floor, c.Floor+c.Lookahead)
 	}
 	return fmt.Sprintf(
 		"des: causality: domain %d event at t=%g scheduled behind window floor %g",
@@ -133,13 +143,40 @@ type parstate struct {
 	staged int         // events currently staged across all heaps
 	domMin float64     // conservative lower bound of staged times (see Sleep)
 
-	// degenerate marks a partition with fewer than two domains: the
-	// horizon pins to +Inf and everything routes to the run queue.
+	// degenerate marks a configuration that cannot window usefully — a
+	// partition with fewer than two domains, or an explicit one-worker
+	// engine: the horizon pins to +Inf and everything routes to the run
+	// queue (the small-host fast path, no staging or outbox machinery).
 	degenerate bool
 
 	windows   uint64 // window advances performed
 	collected uint64 // events promoted out of staging heaps
+
+	// In-window parallel execution (parexec.go).
+	workers       int      // resolved phase worker count
+	inPhase       bool     // a phase is executing (set before fan-out, cleared after join)
+	ws            []wstate // per-domain worker dispatch state; index 0 unused
+	activeScratch []int32  // census scratch: the pending phase's active domains
+	headScratch   []phaseHead
+
+	// defMu guards defCancels: Timer.Cancel of a coordinator-staged event
+	// issued from a phase worker defers to the barrier (the staging heaps
+	// are frozen while workers run).
+	defMu      sync.Mutex
+	defCancels []defCancel
+
+	panics []any // per-worker panic capture, re-raised after the join
+
+	phases      uint64 // windows executed by the parallel phase path
+	phaseEvents uint64 // events dispatched inside phases
 }
+
+// Window-advance outcomes (Engine.advanceWindow).
+const (
+	windowNone     = iota // nothing staged, or a lookahead error (runErr set)
+	windowAdvanced        // promoted serially; keep dispatching
+	windowPhase           // census passed; scr + activeScratch carry the window
+)
 
 // Parallel promotion thresholds: below these, goroutine fan-out costs more
 // than the serial drain of a few heap entries.
@@ -204,7 +241,8 @@ func (e *Engine) initParallel() {
 	if e.partition != nil {
 		doms = e.partition.Domains()
 	}
-	p.degenerate = doms <= 1
+	p.workers = resolveWorkers(e.workersReq)
+	p.degenerate = doms <= 1 || p.workers < 2
 	n := doms + 1 // heap 0 is the global domain
 	if cap(p.heaps) >= n {
 		p.heaps = p.heaps[:n]
@@ -223,6 +261,11 @@ func (e *Engine) initParallel() {
 	p.floor = e.now
 	p.windows = 0
 	p.collected = 0
+	p.phases = 0
+	p.phaseEvents = 0
+	p.inPhase = false
+	p.activeScratch = p.activeScratch[:0]
+	p.defCancels = p.defCancels[:0]
 	p.epoch = 0
 	p.look = math.Inf(1)
 	if p.degenerate {
@@ -301,19 +344,22 @@ func (e *Engine) stage(ev *event, dom int32) {
 // advanceWindow opens the next virtual-time window once the current one has
 // drained: the new floor is the least staged time across all domains, the
 // new horizon floor+lookahead, and every staged event below the horizon is
-// promoted into the run queue. Reports whether any window opened (false at
-// true end-of-run, or when a stale partition invalidates the lookahead —
-// the latter also sets runErr).
+// collected. Returns windowAdvanced when the window's events were promoted
+// into the run queue (serial dispatch), windowPhase when the confinement
+// census passed — the window sits in the promotion scratch and the caller
+// must execute it through runPhase on a safe goroutine — and windowNone at
+// true end-of-run or when a stale partition invalidates the lookahead (the
+// latter also sets runErr).
 //
 // Monotonicity argument: every staged event satisfied t >= horizon when it
 // was staged, so floor >= the old horizon, and with lookahead > 0 the new
 // horizon strictly exceeds the old. Promoted events therefore always land
 // in the strict future of the clock — the serial dispatch invariant "time
 // never goes backwards" carries over unchanged.
-func (e *Engine) advanceWindow() bool {
+func (e *Engine) advanceWindow() int {
 	p := e.par
 	if p.staged == 0 {
-		return false
+		return windowNone
 	}
 	// Fabric component merges/splits bump the partition epoch; re-derive
 	// the lookahead before trusting a window width computed from a stale
@@ -324,7 +370,7 @@ func (e *Engine) advanceWindow() bool {
 			l := e.partition.Lookahead()
 			if !(l > 0) {
 				e.runErr = &CausalityError{Op: OpLookahead, Domain: -1, At: e.now, Floor: p.floor, Lookahead: l}
-				return false
+				return windowNone
 			}
 			p.look = l
 		}
@@ -340,19 +386,42 @@ func (e *Engine) advanceWindow() bool {
 		p.horizon = h
 	}
 	p.windows++
+	// A window whose horizon could trip MaxTime must dispatch serially so
+	// Run can abort mid-window and surface the error.
+	if p.workers >= 2 && !(e.MaxTime > 0 && p.horizon > e.MaxTime) {
+		e.collectBelow(p.horizon)
+		if active := e.phaseEligible(); active != nil {
+			return windowPhase
+		}
+		e.promoteScratch()
+		p.refreshDomMin()
+		return windowAdvanced
+	}
 	e.promoteBelow(p.horizon)
-	return true
+	return windowAdvanced
 }
 
 // promoteBelow moves every staged event with time below h into the run
-// queue and refreshes the staged-minimum cache. Each domain's heap drains
-// independently — concurrently for large windows — and the merge order is
+// queue and refreshes the staged-minimum cache. The merge order is
 // irrelevant: the run queue orders by (time, seq) however events arrive.
 func (e *Engine) promoteBelow(h float64) {
 	p := e.par
 	if p.staged == 0 {
 		return
 	}
+	e.collectBelow(h)
+	e.promoteScratch()
+	p.refreshDomMin()
+}
+
+// collectBelow drains each domain heap's below-h prefix into that domain's
+// promotion scratch slice — concurrently for large windows. Workers touch
+// disjoint heaps and disjoint event records, and the caller only proceeds
+// after the barrier, so the collection is race-free and order-independent.
+// staged/collected accounting is the consumer's job (promoteScratch or
+// runPhase).
+func (e *Engine) collectBelow(h float64) {
+	p := e.par
 	busy := 0
 	for di := range p.heaps {
 		if hp := p.heaps[di]; len(hp) > 0 && hp[0].at < h {
@@ -360,72 +429,56 @@ func (e *Engine) promoteBelow(h float64) {
 		}
 	}
 	if busy >= parCollectMinHeaps && p.staged >= parCollectMinStaged {
-		e.promoteParallel(h)
-	} else {
-		for di := range p.heaps {
-			hp := &p.heaps[di]
-			for len(*hp) > 0 && (*hp)[0].at < h {
-				ev := hp.popMin()
-				ev.inDom = -1
-				p.staged--
-				p.collected++
-				e.queue.push(ev)
-			}
+		workers := p.workers
+		if workers < 2 {
+			workers = 2
 		}
+		if workers > len(p.heaps) {
+			workers = len(p.heaps)
+		}
+		var (
+			cursor atomic.Int64
+			wg     sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			//hierflow:serial window-promotion workers own disjoint domain heaps (claimed via the atomic cursor) and the spawner only resumes after wg.Wait, so no record is shared between contexts
+			go func() {
+				defer wg.Done()
+				for {
+					di := int(cursor.Add(1)) - 1
+					if di >= len(p.heaps) {
+						return
+					}
+					hp := &p.heaps[di]
+					scr := p.scr[di][:0]
+					for len(*hp) > 0 && (*hp)[0].at < h {
+						ev := hp.popMin()
+						ev.inDom = -1
+						scr = append(scr, ev)
+					}
+					p.scr[di] = scr
+				}
+			}()
+		}
+		wg.Wait()
+		return
 	}
-	p.domMin = math.Inf(1)
 	for di := range p.heaps {
-		if hp := p.heaps[di]; len(hp) > 0 && hp[0].at < p.domMin {
-			p.domMin = hp[0].at
+		hp := &p.heaps[di]
+		scr := p.scr[di][:0]
+		for len(*hp) > 0 && (*hp)[0].at < h {
+			ev := hp.popMin()
+			ev.inDom = -1
+			scr = append(scr, ev)
 		}
+		p.scr[di] = scr
 	}
 }
 
-// promoteParallel is promoteBelow's concurrent drain: workers claim whole
-// domains, pop each heap's below-horizon prefix into that domain's scratch
-// slice, and the single dispatching goroutine merges the scratches into the
-// run queue after the barrier. Workers touch disjoint heaps and disjoint
-// event records, and the merge happens strictly after wg.Wait, so the
-// promotion is race-free and produces the same run-queue contents as the
-// serial drain.
-func (e *Engine) promoteParallel(h float64) {
+// promoteScratch merges the collected promotion scratch into the run queue.
+func (e *Engine) promoteScratch() {
 	p := e.par
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 2 {
-		workers = 2
-	}
-	if workers > parCollectMaxProcs {
-		workers = parCollectMaxProcs
-	}
-	if workers > len(p.heaps) {
-		workers = len(p.heaps)
-	}
-	var (
-		cursor atomic.Int64
-		wg     sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		//hierflow:serial window-promotion workers own disjoint domain heaps (claimed via the atomic cursor) and the spawner only resumes after wg.Wait, so no record is shared between contexts
-		go func() {
-			defer wg.Done()
-			for {
-				di := int(cursor.Add(1)) - 1
-				if di >= len(p.heaps) {
-					return
-				}
-				hp := &p.heaps[di]
-				scr := p.scr[di][:0]
-				for len(*hp) > 0 && (*hp)[0].at < h {
-					ev := hp.popMin()
-					ev.inDom = -1
-					scr = append(scr, ev)
-				}
-				p.scr[di] = scr
-			}
-		}()
-	}
-	wg.Wait()
 	for di := range p.scr {
 		scr := p.scr[di]
 		for i, ev := range scr {
@@ -438,12 +491,55 @@ func (e *Engine) promoteParallel(h float64) {
 	}
 }
 
+// refreshDomMin recomputes the conservative staged-minimum cache.
+func (p *parstate) refreshDomMin() {
+	p.domMin = math.Inf(1)
+	for di := range p.heaps {
+		if hp := p.heaps[di]; len(hp) > 0 && hp[0].at < p.domMin {
+			p.domMin = hp[0].at
+		}
+	}
+}
+
 // AtDomain schedules fn at absolute time t on behalf of the given domain.
 // It is At with an explicit domain tag, for callers (the fabric's
 // completion timers) that know which component an event belongs to better
 // than the ambient dispatch context does. The tag steers staging and
 // causality reporting only; dispatch order is (time, seq) regardless.
+//
+// AtDomain (like At and After) is a coordinator-context API: calling it
+// from inside a parallel window phase panics with an OpConfine
+// CausalityError — confined code schedules through its process handle
+// (Proc.After, Sleep, Wake), which routes to the owning domain's worker.
 func (e *Engine) AtDomain(dom int32, t float64, fn func()) Timer {
+	return e.atDomain(dom, t, fn, false)
+}
+
+// AtShared is At for events that read or write cross-domain state — the
+// fabric's sync, fill and completion machinery. A shared event disqualifies
+// its window from parallel execution: it always dispatches under the serial
+// coordinator, whatever domain it is tagged with.
+func (e *Engine) AtShared(t float64, fn func()) Timer {
+	return e.atDomain(e.curDom, t, fn, true)
+}
+
+// AfterShared is After with the shared marking of AtShared.
+func (e *Engine) AfterShared(d float64, fn func()) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %g", d))
+	}
+	return e.atDomain(e.curDom, e.now+d, fn, true)
+}
+
+// AtDomainShared is AtDomain with the shared marking of AtShared.
+func (e *Engine) AtDomainShared(dom int32, t float64, fn func()) Timer {
+	return e.atDomain(dom, t, fn, true)
+}
+
+func (e *Engine) atDomain(dom int32, t float64, fn func(), shared bool) Timer {
+	if p := e.par; p != nil && p.inPhase {
+		panic(p.confineViolation(dom, t))
+	}
 	if t < e.now {
 		if p := e.par; p != nil {
 			panic(&CausalityError{Op: OpSchedule, Domain: dom, At: t, Floor: p.floor})
@@ -455,6 +551,7 @@ func (e *Engine) AtDomain(dom int32, t float64, fn func()) Timer {
 	}
 	ev := e.schedule(t, dom)
 	ev.fn = fn
+	ev.shared = shared
 	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
@@ -465,6 +562,13 @@ func (p *Proc) SetDomain(d int32) { p.dom = d }
 
 // Domain returns the process's home domain tag.
 func (p *Proc) Domain() int32 { return p.dom }
+
+// CurDomain returns the ambient scheduling domain: the domain of the event
+// the serial coordinator is currently dispatching (or last dispatched).
+// Worker phases never execute fabric or other shared events, so callers that
+// key pool shards on the ambient domain (the fabric's flow free list) only
+// ever read it from coordinator context.
+func (e *Engine) CurDomain() int32 { return e.curDom }
 
 // WindowStats is a snapshot of the parallel-mode window machinery, for
 // tests and benchmarks.
@@ -477,6 +581,9 @@ type WindowStats struct {
 	Staged    int     // events currently staged
 	Windows   uint64  // windows opened so far
 	Collected uint64  // events promoted out of staging heaps so far
+	Workers   int     // resolved phase worker count
+	Phases    uint64  // windows executed by the parallel phase path
+	PhaseEv   uint64  // events dispatched inside phases
 }
 
 // WindowStats returns the current parallel-mode counters; the zero value in
@@ -495,5 +602,8 @@ func (e *Engine) WindowStats() WindowStats {
 		Staged:    p.staged,
 		Windows:   p.windows,
 		Collected: p.collected,
+		Workers:   p.workers,
+		Phases:    p.phases,
+		PhaseEv:   p.phaseEvents,
 	}
 }

@@ -158,8 +158,14 @@ type Flow struct {
 	// points: no caller can retain a handle to them, so the record returns
 	// to the Net's free list at completion. installFn is built once per
 	// record lifetime and survives recycling, so steady-state flow startup
-	// allocates nothing.
+	// allocates nothing. shard pins the record to the free-list shard it
+	// was drawn from: alloc and recycle often run under different ambient
+	// domains (StartAfter fires under the sender's event, completion under
+	// the fabric's shared timer), and releasing to the ambient shard would
+	// migrate records between shards until every shard minted its own
+	// working set.
 	pooled    bool
+	shard     uint32
 	installFn func()
 
 	// pathBuf backs Path for StartAfterPath2 flows, so the ubiquitous
@@ -227,8 +233,14 @@ type Net struct {
 	stats         RecomputeStats
 	shadow        func(format string, args ...any)
 
-	flowPool []*Flow // recycled pooled records (see Flow.pooled)
-	finScr   []*Flow // onCompletionTimer scratch, reused across firings
+	// flowShards is the recycled pooled-record free list (see Flow.pooled),
+	// sharded by ambient engine domain so concurrent dispatch contexts never
+	// contend on a single head; each shard's slice header sits on its own
+	// cache line. Shard choice only decides which dead record a StartAfter
+	// reuses — flow IDs are assigned at install — so it never shows in the
+	// event log.
+	flowShards [nFlowShards]flowShard
+	finScr     []*Flow // onCompletionTimer scratch, reused across firings
 
 	// epoch counts component-structure changes (merges and splits): the
 	// engine's parallel mode re-derives its lookahead whenever the epoch
@@ -436,7 +448,7 @@ func (n *Net) install(f *Flow) {
 			n.recycleFlow(f)
 		}
 		if cb != nil {
-			n.eng.At(n.eng.Now(), cb)
+			n.eng.AtShared(n.eng.Now(), cb)
 		}
 		return
 	}
@@ -444,17 +456,38 @@ func (n *Net) install(f *Flow) {
 	n.requestSync()
 }
 
+// nFlowShards is the shard count of the flow free list; a power of two so
+// the domain-keyed index is a mask.
+const nFlowShards = 8
+
+// flowShard is one free-list head, padded to a cache line so adjacent
+// shards never false-share.
+type flowShard struct {
+	free []*Flow
+	_    [64 - 24]byte
+}
+
+// poolShard maps the ambient engine domain to a free-list shard. The key is
+// part of the deterministic engine state, so replays reuse records in the
+// same order.
+func (n *Net) poolShard() uint32 {
+	return uint32(n.eng.CurDomain()) & (nFlowShards - 1)
+}
+
 // allocFlow pops a recycled record or mints a pooled one. Pooled records are
 // only reachable through the void-returning StartAfter entry points, so no
-// caller can hold a reference past completion.
+// caller can hold a reference past completion. The record remembers its
+// shard so recycleFlow returns it where it came from (see Flow.shard).
 func (n *Net) allocFlow() *Flow {
 	var f *Flow
-	if k := len(n.flowPool) - 1; k >= 0 {
-		f = n.flowPool[k]
-		n.flowPool[k] = nil
-		n.flowPool = n.flowPool[:k]
+	idx := n.poolShard()
+	sh := &n.flowShards[idx]
+	if k := len(sh.free) - 1; k >= 0 {
+		f = sh.free[k]
+		sh.free[k] = nil
+		sh.free = sh.free[:k]
 	} else {
-		f = &Flow{owner: n, cidx: -1, pooled: true}
+		f = &Flow{owner: n, cidx: -1, pooled: true, shard: idx}
 		f.installFn = func() { n.install(f) }
 	}
 	if n.san != nil {
@@ -483,7 +516,8 @@ func (n *Net) recycleFlow(f *Flow) {
 	f.frozen = false
 	f.completed = false
 	f.aborted = false
-	n.flowPool = append(n.flowPool, f)
+	sh := &n.flowShards[f.shard]
+	sh.free = append(sh.free, f)
 }
 
 // StartAfter installs the flow after a fixed latency (e.g. a message's wire
@@ -507,7 +541,7 @@ func (n *Net) StartAfterClassed(class string, delay, size, rateCap float64, path
 		n.install(f)
 		return
 	}
-	n.eng.After(delay, f.installFn)
+	n.eng.AfterShared(delay, f.installFn)
 }
 
 // StartAfterPath2 is StartAfterClassed specialized to the two-resource path
@@ -527,7 +561,7 @@ func (n *Net) StartAfterPath2(class string, delay, size, rateCap float64, r1, r2
 		n.install(f)
 		return
 	}
-	n.eng.After(delay, f.installFn)
+	n.eng.AfterShared(delay, f.installFn)
 }
 
 // Abort removes an in-flight flow without firing OnComplete.
@@ -579,7 +613,7 @@ func (n *Net) requestSync() {
 		return
 	}
 	n.syncScheduled = true
-	n.eng.At(n.eng.Now(), n.syncFn)
+	n.eng.AtShared(n.eng.Now(), n.syncFn)
 }
 
 // sync recomputes every dirty component (all of them in ModeGlobal), then
@@ -715,7 +749,7 @@ func (n *Net) scheduleCompletion(c *component) {
 		next = now
 	}
 	c.timerAt = next
-	c.timer = n.eng.AtDomain(c.domTag(), next, func() { n.onCompletionTimer(c) })
+	c.timer = n.eng.AtDomainShared(c.domTag(), next, func() { n.onCompletionTimer(c) })
 }
 
 func sortFlows(fs []*Flow) {

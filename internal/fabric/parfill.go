@@ -1,9 +1,9 @@
 package fabric
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
+
+	"hierknem/internal/des"
 )
 
 // parFillMin is the minimum number of refill-pending components before the
@@ -15,8 +15,10 @@ const parFillMin = 4
 // the pass is memory-bound on the shared flow/resource arrays.
 const parFillMaxProcs = 8
 
-// fillParallel runs progressive filling over the collected components on
-// worker goroutines. Each component is filled by exactly one worker
+// fillParallel runs progressive filling over the collected components on the
+// engine's shared worker fan-out (des.RunOnWorkers — the same primitive that
+// executes in-window phases, so the fill barrier is the one barrier
+// discipline the engine has). Each component is filled by exactly one worker
 // (claimed via the atomic cursor), filling touches only that component's
 // flows and resources (the confinement the confine analyzer proves), and
 // each worker accumulates its counters into a private RecomputeStats merged
@@ -24,15 +26,15 @@ const parFillMaxProcs = 8
 // identical to a serial pass, and rates are identical because filling is a
 // pure per-component function.
 func (n *Net) fillParallel(comps []*component) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 2 {
-		workers = 2
-	}
+	workers := n.eng.Workers()
 	if workers > parFillMaxProcs {
 		workers = parFillMaxProcs
 	}
 	if workers > len(comps) {
 		workers = len(comps)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	stats := n.fillStatScr
 	if cap(stats) < workers {
@@ -40,27 +42,18 @@ func (n *Net) fillParallel(comps []*component) {
 		n.fillStatScr = stats
 	}
 	stats = stats[:workers]
-	var (
-		cursor atomic.Int64
-		wg     sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
+	var cursor atomic.Int64
+	des.RunOnWorkers(workers, func(w int) {
 		st := &stats[w]
 		*st = RecomputeStats{}
-		//hierflow:serial fill workers own disjoint components (claimed via the atomic cursor) and private stats slots; the spawner only resumes after wg.Wait, so no flow or resource is shared between contexts
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(comps) {
-					return
-				}
-				n.fillInto(comps[i], st)
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= len(comps) {
+				return
 			}
-		}()
-	}
-	wg.Wait()
+			n.fillInto(comps[i], st)
+		}
+	})
 	for w := range stats {
 		n.stats.addFill(&stats[w])
 	}

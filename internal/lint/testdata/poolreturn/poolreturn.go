@@ -99,3 +99,64 @@ func cleanReassign(pl *pool) {
 	r.id = 5
 	pl.release(r)
 }
+
+// Sharded free list: per-domain heads with cache-line padding, the shape
+// the fabric flow pool and the mpi envelope pools take under parallel
+// in-window execution. The analyzer must see through the shard selector:
+// allocation and release both go via a *shard lvalue, not the pool itself.
+type shard struct {
+	free []*rec
+	_    [64 - 24]byte
+}
+
+type shardedPool struct {
+	shards [8]shard
+	cur    int
+}
+
+func (pl *shardedPool) shard() *shard { return &pl.shards[pl.cur&7] }
+
+// allocShardRec is the sharded allocation shape: pop from the selected
+// shard's head, fall back to the heap.
+func (pl *shardedPool) allocShardRec() *rec {
+	sh := pl.shard()
+	if n := len(sh.free); n > 0 {
+		r := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return r
+	}
+	return &rec{}
+}
+
+func (pl *shardedPool) release(r *rec) {
+	sh := pl.shard()
+	sh.free = append(sh.free, r)
+}
+
+func shardDiscard(pl *shardedPool) {
+	pl.allocShardRec() // want `pooled allocShardRec result discarded`
+}
+
+func shardBlank(pl *shardedPool) {
+	_ = pl.allocShardRec() // want `pooled allocShardRec result assigned to blank`
+}
+
+func shardNeverReleased(pl *shardedPool) {
+	r := pl.allocShardRec() // want `pooled record from allocShardRec bound to r but never released or handed off`
+	r.id = 8
+}
+
+func shardUseAfterRelease(pl *shardedPool) int {
+	r := pl.allocShardRec()
+	r.id = 9
+	pl.release(r)
+	return r.id // want `use of r after release`
+}
+
+// shardClean is the canonical sharded lifecycle: allocate from the shard,
+// initialize, release back through the shard head.
+func shardClean(pl *shardedPool) {
+	r := pl.allocShardRec()
+	r.id = 10
+	pl.release(r)
+}

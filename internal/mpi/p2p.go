@@ -111,8 +111,8 @@ type envelope struct {
 	bufv      buffer.Buffer // sender's payload view (header copy; data shared)
 	size      int64
 	eager     bool
-	arrived   bool // eager inter-node payload landed before a recv was posted
-	preposted bool // the receive was already posted when the send started
+	arrived   bool    // eager inter-node payload landed before a recv was posted
+	preposted bool    // the receive was already posted when the send started
 	sendReq   Request // embedded: no per-message Request allocation
 	sender    *Proc
 	po        *posting // matched receive, set for the duration of the transfer
@@ -234,6 +234,7 @@ func (env *envelope) matches(po *posting) bool {
 func (p *Proc) Isend(c *Comm, buf *buffer.Buffer, dst, tag int) *Request {
 	dstWorld := c.WorldRank(dst)
 	target := p.world.procs[dstWorld]
+	p.confineCheckSend(target, buf.Len())
 	env := p.allocEnv()
 	env.srcWorld = p.rank
 	env.tag = tag
@@ -303,6 +304,7 @@ func (p *Proc) Irecv(c *Comm, buf *buffer.Buffer, src, tag int) *Request {
 	if src != AnySource {
 		srcWorld = c.WorldRank(src)
 	}
+	p.confineCheckRecv(c, srcWorld)
 	po := p.allocPosting()
 	po.srcWorld = srcWorld
 	po.tag = tag
@@ -386,7 +388,11 @@ func (w *World) startTransfer(env *envelope, po *posting) {
 			// (see smallCopyCutoff).
 			rate := spec.CoreCopyBandwidth
 			if env.size < smallCopyCutoff {
-				w.Machine.Eng.After(spec.ShmLatency+float64(env.size)/rate, finish)
+				// The finish event rides the receiver's process handle, not
+				// the engine: inside a node phase it must land on the
+				// receiver's own domain queue (sender and receiver share the
+				// node here, so the two routes tag the same domain).
+				po.receiver.dp.After(spec.ShmLatency+float64(env.size)/rate, finish)
 				return
 			}
 			w.Machine.Fab.StartAfterPath2("copy", spec.ShmLatency, float64(env.size), rate,
@@ -402,8 +408,10 @@ func (w *World) startTransfer(env *envelope, po *posting) {
 
 	if env.eager {
 		if env.arrived {
-			// Payload already landed; unloading is effectively free.
-			w.Machine.Eng.At(w.Machine.Eng.Now(), finish)
+			// Payload already landed; unloading is effectively free. Shared:
+			// the finish releases the sender's envelope record from receiver
+			// context, a cross-domain store only the coordinator may run.
+			w.Machine.Eng.AtShared(w.Machine.Eng.Now(), finish)
 			return
 		}
 		w.eagerFlight(env, po.receiver, finish)

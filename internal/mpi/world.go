@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
 
 	"hierknem/internal/buffer"
 	"hierknem/internal/des"
@@ -78,6 +79,7 @@ type World struct {
 	procs     []*Proc
 	nextCtx   int
 	worldComm *Comm
+	nodeComms []*Comm                       // per-node communicators, built eagerly (see NodeComm)
 	netPaths  map[uint64][]*fabric.Resource // shared read-only inter-node paths, keyed src*np+dst
 
 	// empty is this world's zero-byte phantom for control messages. One
@@ -110,6 +112,12 @@ type Proc struct {
 	posted     postIndex // posted receives, indexed, posting order preserved
 	unexpected envIndex  // unexpected envelopes, indexed, arrival order preserved
 
+	// envPool and poPool are the recycled send/receive records (see
+	// envelope.refs, posting.refs). Per-rank heads are the pool sharding the
+	// parallel windows rely on: strictly finer than per-domain, each head in
+	// its own heap-allocated Proc (no two heads share a cache line), and the
+	// confinement discipline guarantees every alloc/release runs either on
+	// the owning node's worker or under the serial coordinator.
 	envPool []*envelope // recycled send records (see envelope.refs)
 	poPool  []*posting  // recycled receive records (see posting.refs)
 }
@@ -130,14 +138,47 @@ func NewWorld(m *topology.Machine, b *topology.Binding, conf Config) (*World, er
 	for r := range w.procs {
 		w.procs[r] = &Proc{world: w, rank: r, name: fmt.Sprintf("rank%d", r), core: b.Core(m, r)}
 	}
+	w.buildNodeComms()
 	if san.EnvEnabled() {
 		w.EnableSanitizer()
 	}
 	if engineModeEnv() == des.ModeParallel {
 		w.SetEngineMode(des.ModeParallel)
 	}
+	if n := workersEnv(); n > 0 {
+		w.SetEngineWorkers(n)
+	}
 	return w, nil
 }
+
+// buildNodeComms creates one communicator per node holding that node's ranks
+// (in world-rank order), eagerly: confined node phases read them without
+// touching the world-global context counter, so no Split-style collective is
+// needed inside a parallel window. Nodes hosting no rank get a nil entry.
+// Runs at NewWorld and again after Reset, in the same order both times, so
+// context ids replay identically.
+func (w *World) buildNodeComms() {
+	nodes := len(w.Machine.Nodes)
+	if cap(w.nodeComms) < nodes {
+		w.nodeComms = make([]*Comm, nodes)
+	}
+	w.nodeComms = w.nodeComms[:nodes]
+	perNode := make([][]int, nodes)
+	for r, p := range w.procs {
+		perNode[p.core.NodeID] = append(perNode[p.core.NodeID], r)
+	}
+	for n, ranks := range perNode {
+		if len(ranks) == 0 {
+			w.nodeComms[n] = nil
+			continue
+		}
+		w.nodeComms[n] = w.newComm(ranks)
+	}
+}
+
+// NodeComm returns the prebuilt communicator of every rank on p's node. It
+// is the communicator node phases run their intra-node collectives on.
+func (p *Proc) NodeComm() *Comm { return p.world.nodeComms[p.core.NodeID] }
 
 // engineModeEnv reads the HIERKNEM_ENGINE environment toggle ("parallel"
 // selects conservative parallel mode for every new world). Like HIERSAN, an
@@ -148,6 +189,23 @@ func engineModeEnv() des.EngineMode {
 	}
 	return des.ModeSerial
 }
+
+// workersEnv reads the HIERKNEM_WORKERS override for the phase worker count
+// (0 or unset keeps the engine's GOMAXPROCS-derived default).
+func workersEnv() int {
+	n, err := strconv.Atoi(os.Getenv("HIERKNEM_WORKERS"))
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}
+
+// SetEngineWorkers fixes the number of workers parallel windows execute on.
+// n=1 selects the degenerate one-worker engine — no staging, no windows, no
+// outboxes — whose overhead over serial is bounded by a bench gate. Worker
+// count never shows in the event log; it only decides how a window's domains
+// are spread over host cores.
+func (w *World) SetEngineWorkers(n int) { w.Machine.Eng.SetWorkers(n) }
 
 // SetEngineMode switches the world's engine between the serial reference
 // and conservative parallel mode (installing the machine's node partition).
@@ -211,6 +269,7 @@ func (w *World) Reset() {
 	}
 	w.nextCtx = 0
 	w.worldComm = nil
+	w.buildNodeComms()
 	w.BytesCross = 0
 	if w.san != nil {
 		// After Machine.Reset: the engine's drain has already routed

@@ -53,16 +53,24 @@ type Sweep struct {
 	parallel int
 	progress io.Writer
 
-	jobs    []job
-	ran     bool
-	engMode des.EngineMode // engine mode every job's worlds run under
-	mu      sync.Mutex     // serializes progress writes
+	jobs       []job
+	ran        bool
+	engMode    des.EngineMode // engine mode every job's worlds run under
+	engWorkers int            // phase worker count per world (0 = engine default)
+	mu         sync.Mutex     // serializes progress writes
 }
 
 // SetEngineMode selects the engine mode (serial reference or conservative
 // parallel) applied to every world the sweep's jobs obtain through Ctx.
 // Call before Run.
 func (s *Sweep) SetEngineMode(m des.EngineMode) { s.engMode = m }
+
+// SetEngineWorkers fixes the in-window phase worker count applied to every
+// world the sweep's jobs obtain through Ctx (0 keeps the engine default).
+// Note the two parallelism axes are independent: the sweep's own pool runs
+// whole simulations concurrently, the engine's workers split one
+// simulation's windows.
+func (s *Sweep) SetEngineWorkers(n int) { s.engWorkers = n }
 
 type job struct {
 	id string
@@ -149,7 +157,7 @@ func (s *Sweep) Run() error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ctx := &Ctx{worlds: make(map[worldKey]*mpi.World), engMode: s.engMode}
+			ctx := &Ctx{worlds: make(map[worldKey]*mpi.World), engMode: s.engMode, engWorkers: s.engWorkers}
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
@@ -200,15 +208,20 @@ type worldKey struct {
 // Ctx is a worker's private job context. Its world cache is never shared:
 // worlds hold engines, and engines are single-threaded by construction.
 type Ctx struct {
-	worlds  map[worldKey]*mpi.World
-	engMode des.EngineMode
+	worlds     map[worldKey]*mpi.World
+	engMode    des.EngineMode
+	engWorkers int
 }
 
-// apply sets the sweep's engine mode on a world about to be handed to a
-// job. The mode survives Reset, so cached worlds only pay the switch once.
+// apply sets the sweep's engine mode and worker count on a world about to be
+// handed to a job. Both survive Reset, so cached worlds only pay the switch
+// once.
 func (c *Ctx) apply(w *mpi.World) *mpi.World {
 	if w.EngineMode() != c.engMode {
 		w.SetEngineMode(c.engMode)
+	}
+	if c.engWorkers > 0 {
+		w.SetEngineWorkers(c.engWorkers)
 	}
 	return w
 }

@@ -66,6 +66,32 @@ var pdesWorkloads = []struct {
 			mod.Bcast(p, c, small[me], 1)
 		})
 	}},
+	// nodephase alternates a global collective with a bracketed node-local
+	// stretch (the workload parallel windows actually execute concurrently),
+	// so one program exercises serial windows, phased windows and the
+	// transitions between them.
+	{"nodephase", func(w *hierknem.World, mod hierknem.Module, log *[]string) {
+		np := w.Size()
+		lat := w.Machine.Spec.NetLatency
+		small := phantomPerRank(np, 2<<10)
+		sb := phantomPerRank(np, 512)
+		rb := phantomPerRank(np, 512)
+		runCollectives(w, log, func(p *mpi.Proc, c *mpi.Comm, me int) {
+			mod.Bcast(p, c, small[me], 0)
+			nc := p.NodeComm()
+			nme, n := nc.Rank(p), nc.Size()
+			p.EnterNodePhase()
+			for r := 0; r < 8; r++ {
+				if n > 1 {
+					p.SendRecv(nc, sb[me], (nme+1)%n, 400+r, rb[me], (nme-1+n)%n, 400+r)
+				}
+				nc.Barrier(p)
+				p.Compute(0.4 * lat)
+			}
+			p.ExitNodePhase()
+			c.Barrier(p)
+		})
+	}},
 }
 
 func phantomPerRank(np, size int) []*buffer.Buffer {
@@ -108,8 +134,12 @@ func pdesModeLog(t testing.TB, wi int, mode hierknem.EngineMode) []string {
 	var log []string
 	pdesWorkloads[wi].prog(w, mod, &log)
 	if mode == hierknem.EngineParallel {
-		if ws := w.Machine.Eng.WindowStats(); ws.Windows == 0 {
+		ws := w.Machine.Eng.WindowStats()
+		if ws.Windows == 0 {
 			t.Fatalf("parallel mode never advanced a window (stats %+v) — the test is not exercising the PDES path", ws)
+		}
+		if pdesWorkloads[wi].name == "nodephase" && ws.Phases == 0 {
+			t.Fatalf("nodephase workload executed no parallel phases (stats %+v) — its windows are not phase-eligible", ws)
 		}
 	}
 	return log

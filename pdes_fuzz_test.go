@@ -1,12 +1,13 @@
 // FuzzPDESDiff is the differential fuzz gate for the conservative parallel
-// engine: every input decodes into a random (topology, collective program)
-// pair, runs once on the serial reference engine and once in ModeParallel,
-// and fails on any event-log divergence — a hex-exact time, a rank's
-// completion order, the final clock or the processed-event count. The seed
-// corpus covers the Table II mixed-collective scenario, whose alternating
-// message sizes drive pipeline-chunk flows through repeated fabric
-// component merges and splits — the churn that stresses the per-node window
-// partition hardest.
+// engine: every input decodes into a random (topology, worker count,
+// program) triple, runs once on the serial reference engine and once in
+// ModeParallel with the decoded in-window worker count, and fails on any
+// event-log divergence — a hex-exact time, a rank's completion order, the
+// final clock or the processed-event count. The seed corpus covers the
+// Table II mixed-collective scenario (merge/split churn through the fabric),
+// bracketed node-phase rounds that execute on concurrent workers, and
+// cross-domain Timer.Cancel during phase execution — the deferred-cancel
+// path the coordinator applies at the window barrier.
 package hierknem_test
 
 import (
@@ -16,6 +17,7 @@ import (
 	"hierknem"
 	"hierknem/internal/buffer"
 	"hierknem/internal/coll"
+	"hierknem/internal/des"
 	"hierknem/internal/mpi"
 )
 
@@ -23,17 +25,17 @@ const (
 	fuzzMaxOps = 6
 )
 
-// fuzzOp is one collective in a fuzzed program.
+// fuzzOp is one step of a fuzzed program.
 type fuzzOp struct {
-	kind int // 0 bcast, 1 reduce, 2 allgather, 3 barrier
+	kind int // 0 bcast, 1 reduce, 2 allgather, 3 barrier, 4 node-phase rounds, 5 cross-domain timer cancel
 	size int64
 	root int
 }
 
-// decodePDESPlan turns fuzz bytes into a cluster shape and a collective
-// program. Every decoded plan is valid by construction, so a divergence is
-// an engine bug, not an ill-formed input.
-func decodePDESPlan(data []byte) (nodes, ppn int, ops []fuzzOp) {
+// decodePDESPlan turns fuzz bytes into a cluster shape, a phase worker
+// count and a program. Every decoded plan is valid by construction, so a
+// divergence is an engine bug, not an ill-formed input.
+func decodePDESPlan(data []byte) (nodes, ppn, workers int, ops []fuzzOp) {
 	nodes, ppn = 2, 2
 	if len(data) > 0 {
 		nodes = 2 + int(data[0])%3 // 2..4
@@ -41,23 +43,26 @@ func decodePDESPlan(data []byte) (nodes, ppn int, ops []fuzzOp) {
 	if len(data) > 1 {
 		ppn = 2 + int(data[1])%3 // 2..4
 	}
+	if len(data) > 2 {
+		workers = 1 + int(data[2])%8 // 1..8; 0 (short input) = engine default
+	}
 	np := nodes * ppn
-	for i := 2; i+1 < len(data) && len(ops) < fuzzMaxOps; i += 2 {
+	for i := 3; i+1 < len(data) && len(ops) < fuzzMaxOps; i += 2 {
 		ops = append(ops, fuzzOp{
-			kind: int(data[i]) % 4,
+			kind: int(data[i]) % 6,
 			// 64B .. 128KB: spans the eager threshold and the pipeline
 			// chunk sizes, so flows merge and split mid-collective.
 			size: int64(1) << (6 + int(data[i+1])%12),
 			root: int(data[i+1]) % np,
 		})
 	}
-	return nodes, ppn, ops
+	return nodes, ppn, workers, ops
 }
 
-// runPDESPlan executes the program on a fresh world in the given mode and
-// returns its event log (per-rank hex completion times per op, final clock,
-// processed count).
-func runPDESPlan(t *testing.T, nodes, ppn int, ops []fuzzOp, mode hierknem.EngineMode) []string {
+// runPDESPlan executes the program on a fresh world in the given mode (and,
+// when workers > 0, worker count) and returns its event log (per-rank hex
+// completion times per op, final clock, processed count).
+func runPDESPlan(t *testing.T, nodes, ppn, workers int, ops []fuzzOp, mode hierknem.EngineMode) []string {
 	t.Helper()
 	spec := hierknem.Stremi(nodes)
 	w, err := hierknem.NewWorldPPN(spec, ppn)
@@ -65,12 +70,18 @@ func runPDESPlan(t *testing.T, nodes, ppn int, ops []fuzzOp, mode hierknem.Engin
 		t.Fatal(err)
 	}
 	w.SetEngineMode(mode)
+	if workers > 0 {
+		w.SetEngineWorkers(workers)
+	}
 	mod := hierknem.ForCluster(&spec)
 	np := w.Size()
+	lat := spec.NetLatency
 
-	// Per-(op, rank) buffers, allocated identically for both runs.
+	// Per-(op, rank) buffers and timer tables, allocated identically for
+	// both runs.
 	bufs := make([][]*buffer.Buffer, len(ops))
 	rbufs := make([][]*buffer.Buffer, len(ops))
+	timers := make([][]des.Timer, len(ops))
 	for k, op := range ops {
 		switch op.kind {
 		case 0:
@@ -81,6 +92,12 @@ func runPDESPlan(t *testing.T, nodes, ppn int, ops []fuzzOp, mode hierknem.Engin
 		case 2:
 			bufs[k] = phantomPerRank(np, int(op.size))
 			rbufs[k] = phantomPerRank(np, np*int(op.size))
+		case 4:
+			// Node-confined traffic must stay under the eager threshold.
+			bufs[k] = phantomPerRank(np, 512)
+			rbufs[k] = phantomPerRank(np, 512)
+		case 5:
+			timers[k] = make([]des.Timer, np)
 		}
 	}
 
@@ -99,6 +116,38 @@ func runPDESPlan(t *testing.T, nodes, ppn int, ops []fuzzOp, mode hierknem.Engin
 				mod.Allgather(p, c, bufs[k][me], rbufs[k][me])
 			case 3:
 				c.Barrier(p)
+			case 4:
+				// Bracketed node-local rounds; the compute stretch walks the
+				// bracket across window boundaries so confined windows form.
+				nc := p.NodeComm()
+				nme, n := nc.Rank(p), nc.Size()
+				for r := 0; r < 2+op.root%3; r++ {
+					if r == 0 {
+						p.EnterNodePhase()
+					}
+					if n > 1 {
+						p.SendRecv(nc, bufs[k][me], (nme+1)%n, 300+r, rbufs[k][me], (nme-1+n)%n, 300+r)
+					}
+					nc.Barrier(p)
+					p.Compute(0.4 * lat)
+				}
+				p.ExitNodePhase()
+			case 5:
+				// Cross-domain Timer.Cancel during phase execution: every
+				// rank arms an unconfined no-op timer far in the future,
+				// then — inside a node phase, past a window boundary —
+				// cancels the timer of a rank half the world away (usually
+				// another node). In parallel mode the cancel lands in a
+				// staged event of a foreign domain and takes the deferred
+				// path; the committed log must not notice.
+				c.Barrier(p)
+				timers[k][me] = p.DES().After(20*lat, func() {})
+				c.Barrier(p)
+				p.EnterNodePhase()
+				p.Compute(0.6 * lat)
+				timers[k][(me+np/2)%np].Cancel()
+				p.Compute(0.8 * lat)
+				p.ExitNodePhase()
 			}
 			log = append(log, fmt.Sprintf("op%d r%d %s", k, me, hexTime(p.Now())))
 		}
@@ -113,18 +162,23 @@ func runPDESPlan(t *testing.T, nodes, ppn int, ops []fuzzOp, mode hierknem.Engin
 func FuzzPDESDiff(f *testing.F) {
 	// Seeds: degenerate shapes, then Table II-style mixed-collective churn
 	// (bcast/allgather/reduce alternating across the eager threshold and
-	// pipeline sizes, varying roots) on 2-4 nodes.
+	// pipeline sizes, varying roots) on 2-4 nodes, then the parallel-phase
+	// stressors: node-phase rounds at several worker counts and the
+	// cross-domain cancel-during-execution case.
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 0, 10})             // 2x2, one 64KB bcast
-	f.Add([]byte{1, 1, 3, 0})              // 3x3, lone barrier
-	f.Add([]byte{2, 2, 0, 11, 2, 5, 1, 8, 3, 0, 0, 1}) // 4x4 Table II churn: big bcast, allgather, reduce, barrier, tiny bcast
-	f.Add([]byte{1, 0, 2, 9, 1, 9, 2, 3, 0, 7})        // 3x2: allgather/reduce/allgather/bcast merge-split churn
-	f.Add([]byte{0, 2, 1, 0, 1, 11, 0, 4, 2, 2})       // 2x4: small reduce, huge reduce, bcast, allgather
+	f.Add([]byte{0, 0, 1, 0, 10})                         // 2x2, one worker (degenerate engine), one 64KB bcast
+	f.Add([]byte{1, 1, 3, 3, 0})                          // 3x3, 4 workers, lone barrier
+	f.Add([]byte{2, 2, 7, 0, 11, 2, 5, 1, 8, 3, 0, 0, 1}) // 4x4 Table II churn: big bcast, allgather, reduce, barrier, tiny bcast
+	f.Add([]byte{1, 0, 2, 2, 9, 1, 9, 2, 3, 0, 7})        // 3x2, 3 workers: allgather/reduce/allgather/bcast merge-split churn
+	f.Add([]byte{0, 2, 0, 1, 0, 1, 11, 0, 4, 2, 2})       // 2x4, default workers: small reduce, huge reduce, bcast, allgather
+	f.Add([]byte{2, 1, 1, 4, 5, 4, 0, 3, 0})              // 4x3, 2 workers: node-phase rounds, more rounds, barrier
+	f.Add([]byte{1, 2, 3, 5, 0, 4, 2, 5, 7, 0, 6})        // 3x4, 4 workers: timer cancel in phase, node phase, cancel again, bcast
+	f.Add([]byte{2, 2, 5, 5, 9, 5, 3})                    // 4x4, 6 workers: back-to-back cross-domain cancels
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		nodes, ppn, ops := decodePDESPlan(data)
-		want := runPDESPlan(t, nodes, ppn, ops, hierknem.EngineSerial)
-		got := runPDESPlan(t, nodes, ppn, ops, hierknem.EngineParallel)
-		diffLogs(t, fmt.Sprintf("pdes diff %dx%d %v", nodes, ppn, ops), want, got)
+		nodes, ppn, workers, ops := decodePDESPlan(data)
+		want := runPDESPlan(t, nodes, ppn, 0, ops, hierknem.EngineSerial)
+		got := runPDESPlan(t, nodes, ppn, workers, ops, hierknem.EngineParallel)
+		diffLogs(t, fmt.Sprintf("pdes diff %dx%d w%d %v", nodes, ppn, workers, ops), want, got)
 	})
 }

@@ -23,14 +23,23 @@
 #      on hosts with >=4 cores the parallel run must be >=3x faster.
 #
 #   4. BenchmarkPDES* (conservative parallel DES engine): the Fig3a 768-rank
-#      broadcast run under mode=serial and mode=parallel. events/op must
-#      agree exactly between the modes (always enforced — the parallel
-#      engine promises a hex-identical event log); on hosts with >=4 cores
-#      the parallel engine must reach >=2x the serial events/sec, waived
-#      (and recorded as waived) on smaller hosts like the sweep gate.
+#      broadcast and the NodeLocal 768-rank bracketed workload, each run
+#      under mode=serial, mode=parallel and a workers={1,2,4} curve.
+#      events/op must agree exactly between serial and every parallel
+#      variant (always enforced — the parallel engine promises a
+#      hex-identical event log); the workers=1 degenerate engine must stay
+#      within 10% of serial events/sec and allocs/op on every host
+#      (best-of-count values, so the bar measures engine overhead rather
+#      than scheduler noise); and on
+#      hosts with >=4 cores the NodeLocal parallel engine must reach >=2x
+#      the serial events/sec, waived (and recorded as waived) on smaller
+#      hosts like the sweep gate. The speedup bar binds to NodeLocal only:
+#      Fig3a's windows are serial by census (collectives are not bracketed),
+#      so there it measures pure window overhead.
 #
 # Environment knobs:
-#   DES_COUNT        -count for the DES suite (default 3; means are compared)
+#   DES_COUNT        -count for the DES suite (default 3; the gate compares
+#                    best-of-count, like the pdes suite)
 #   MIN_SPEEDUP      enforced events/sec ratio vs. baseline (default 1.5)
 #   MIN_ALLOC_RATIO  enforced allocs/op shrink factor (default 2)
 #   BENCHTIME        fabric suite -benchtime (default 1x: one deterministic
@@ -40,9 +49,14 @@
 #                    full evaluation at CI scale, see below)
 #   SWEEP_WORKERS    -parallel for the parallel sweep run (default: nproc)
 #   MIN_SWEEP_SPEEDUP  enforced sweep speedup at >=4 cores (default 3)
-#   PDES_COUNT       -count for the PDES suite (default 3; means are compared)
+#   PDES_COUNT       interleaved fresh-process passes of the PDES suite
+#                    (default 3; the pdes gates compare best-of-pass — max
+#                    events/sec, min allocs/op — so shared-host noise can't
+#                    fail the tight parity bar)
 #   MIN_PDES_SPEEDUP enforced parallel-engine events/sec speedup at >=4
 #                    cores (default 2)
+#   MAX_PDES_PARITY  max fractional workers=1 overhead vs serial, both
+#                    events/sec and allocs/op, every host (default 0.10)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -108,15 +122,28 @@ go run ./cmd/benchjson \
     $identical \
     -o results/BENCH_sweep.json
 
-echo "==> go test -bench BenchmarkPDES (-count ${PDES_COUNT:-3}, GOGC=$GOGC)"
-go test -run '^$' -bench 'BenchmarkPDES' -count "${PDES_COUNT:-3}" -benchmem . |
-    tee results/bench_pdes.txt
+# The PDES repetitions run as separate fresh go test processes, interleaved
+# in time, rather than one -count run: whole benchmark processes land in
+# fast or slow scheduling bands on shared hosts, and with -count every
+# repetition of a variant sits in the same band, so a serial-vs-workers=1
+# comparison could pit one band against the other. Fresh interleaved passes
+# give every variant one sample per band; best-of-pass then compares like
+# with like. (The DES baseline was recorded the same way.)
+echo "==> go test -bench BenchmarkPDES (${PDES_COUNT:-3} interleaved passes, GOGC=$GOGC)"
+: > results/bench_pdes.txt
+for rep in $(seq "${PDES_COUNT:-3}"); do
+    echo "--- pdes pass $rep"
+    go test -run '^$' -bench 'BenchmarkPDES' -count 1 -benchmem . |
+        tee -a results/bench_pdes.txt
+done
 
 echo "==> benchjson -schema pdes -> results/BENCH_pdes.json"
 go run ./cmd/benchjson \
     -schema pdes \
     -min-pdes-speedup "${MIN_PDES_SPEEDUP:-2}" \
-    -enforce 'Fig3a' \
+    -max-parity-overhead "${MAX_PDES_PARITY:-0.10}" \
+    -enforce 'Fig3a|NodeLocal' \
+    -enforce-speedup 'NodeLocal' \
     -o results/BENCH_pdes.json < results/bench_pdes.txt
 
 echo "bench: wrote results/BENCH_des.json, BENCH_fabric.json, BENCH_sweep.json and BENCH_pdes.json (criteria passed)"

@@ -15,7 +15,10 @@
 #             HIERKNEM_ENGINE=parallel (every world on the conservative
 #             parallel engine) — the serial run just passed under `test`,
 #             so any divergence the hex-exact log comparisons catch is the
-#             parallel engine's
+#             parallel engine's. Runs under a GOMAXPROCS matrix {1, 4}: 1
+#             pins the cooperative single-core interleaving (workers share
+#             one core, phases still execute), 4 gives phase workers real
+#             cores — the committed logs must not notice either way
 #   san       the conformance/isolation suites under HIERSAN=1 (the hiersan
 #             dynamic sanitizer) plus the seeded fault fixtures
 #   fuzz      10s FuzzMatch smoke over the p2p matching machinery, then 10s
@@ -52,8 +55,12 @@ echo "hierlint timing: first run $(( (t1 - t0) / 1000000 ))ms, warm-cache run $(
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> pdes (HIERKNEM_ENGINE=parallel conformance + equivalence + isolation)"
-HIERKNEM_ENGINE=parallel go test . -run 'Conformance|EngineMode|Isolation|ParallelRuns|WorldReset'
+echo "==> pdes (HIERKNEM_ENGINE=parallel conformance + equivalence + isolation, GOMAXPROCS matrix)"
+for procs in 1 4; do
+  echo "    GOMAXPROCS=$procs"
+  HIERKNEM_ENGINE=parallel GOMAXPROCS=$procs go test . -count=1 \
+    -run 'Conformance|EngineMode|Isolation|ParallelRuns|WorldReset|NodePhase'
+done
 
 echo "==> san (HIERSAN=1 conformance + seeded faults)"
 HIERSAN=1 go test ./... -run 'Conformance|Isolation'

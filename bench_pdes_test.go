@@ -1,9 +1,9 @@
 // PDES scaling benchmarks: the Fig3a acceptance workload (32-node,
-// 768-process Stremi broadcast) and a node-confined companion workload, run
-// under both engine modes and a sweep of in-window worker counts.
-// scripts/bench.sh runs the set as interleaved fresh-process passes and
-// distills results/BENCH_pdes.json via cmd/benchjson's pdes schema (v2),
-// comparing best-of-pass values:
+// 768-process Stremi broadcast, swept over message sizes) and a
+// node-confined companion workload, run under both engine modes and a sweep
+// of in-window worker counts. scripts/bench.sh runs the set as interleaved
+// fresh-process passes and distills results/BENCH_pdes.json via
+// cmd/benchjson's pdes schema (v3), comparing best-of-pass values:
 //
 //   - events/op must agree exactly between serial and every parallel
 //     variant — the hex-identity canary in throughput form;
@@ -11,19 +11,26 @@
 //     machinery) must stay within the parity margin of serial, in both
 //     events/sec and allocs/op — window support must cost nothing when
 //     unused;
+//   - workloads whose collectives bracket their intra-node stretches (the
+//     small-message Fig3a sweep point, NodeLocal) must report a nonzero
+//     phased-window fraction on every workers>=2 variant — phases execute on
+//     goroutines regardless of host cores, so a zero here means the brackets
+//     regressed, not that the host is small; on >=4-core hosts the fraction
+//     must also clear -min-phased-fraction (>50% of windows phased);
 //   - on hosts with >=4 cores the NodeLocal parallel engine must reach >=2x
-//     the serial events/sec; below 4 cores the speedup gate is recorded as
-//     waived, like the sweep gate.
+//     the serial events/sec; below 4 cores the speedup and fraction gates are
+//     recorded as waived, like the sweep gate.
 //
-// The speedup bar binds to NodeLocal, not Fig3a: collective workloads are
-// not bracketed (confinement changes virtual-time behavior at the exit
-// boundary, and the committed serial log is a baseline artifact), so Fig3a's
+// The Fig3a sweep carries both regimes: the small size rides the real
+// HierKNEM bracketed path (single-segment Bcast, node-confined KNEM fan-out
+// under EnterNodePhase/ExitNodePhase), so its windows execute on concurrent
+// workers; the large size stays above the fabric-bypass cutoff, so its
 // windows stay serial by census and measure pure window overhead. NodeLocal
-// brackets its traffic with EnterNodePhase, so its windows actually execute
-// on concurrent workers.
+// brackets all its traffic and is where the speedup bar binds.
 package hierknem_test
 
 import (
+	"fmt"
 	"testing"
 
 	"hierknem"
@@ -70,18 +77,27 @@ func benchPDESVariants(b *testing.B, spec hierknem.Spec, np int, run func(w *hie
 
 // BenchmarkPDESFig3aBcast768 measures the conservative-window engine
 // against the serial reference on the paper's largest broadcast
-// configuration. Its windows are serial (unbracketed global traffic), so
-// the interesting numbers are the identity canary and the workers=1 parity
-// bar: window support must not tax the reference workload.
+// configuration, at two sweep points. size=2KB takes the real bracketed
+// HierKNEM path — inter-node forwarding first, then every node's KNEM
+// fan-out as a node phase — so its windows execute on concurrent workers
+// and its phased-window fraction is gated (>0 always on workers>=2, >50% on
+// >=4-core hosts). size=64KB is above the fabric-bypass cutoff: unbracketed
+// global traffic, serial windows by census, so its interesting numbers are
+// the identity canary and the workers=1 parity bar — window support must
+// not tax the reference workload.
 func BenchmarkPDESFig3aBcast768(b *testing.B) {
 	spec := hierknem.Stremi(32)
 	mod := hierknem.ForCluster(&spec)
 	mod.Opt.CacheTopology = true
 	np := spec.Nodes * spec.CoresPerNode()
-	const size = 64 << 10
-	benchPDESVariants(b, spec, np, func(w *hierknem.World) {
-		hierknem.BenchBcast(w, mod, size, imb.Opts{Iterations: 4, Warmup: 1})
-	})
+	for _, size := range []int64{2 << 10, 64 << 10} {
+		size := size
+		b.Run(fmt.Sprintf("size=%dKB", size>>10), func(b *testing.B) {
+			benchPDESVariants(b, spec, np, func(w *hierknem.World) {
+				hierknem.BenchBcast(w, mod, size, imb.Opts{Iterations: 4, Warmup: 1})
+			})
+		})
+	}
 }
 
 // BenchmarkPDESNodeLocal768 measures in-window parallel execution itself:

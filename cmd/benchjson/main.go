@@ -46,7 +46,7 @@
 //		    -serial-sec 10.4 -parallel-sec 2.9 -workers 8 -identical \
 //		    -o results/BENCH_sweep.json
 //
-//	  - pdes (-schema pdes, hierknem/bench-pdes/v2): the conservative parallel
+//	  - pdes (-schema pdes, hierknem/bench-pdes/v3): the conservative parallel
 //	    DES engine. Pairs each BenchmarkPDES* mode=serial benchmark with its
 //	    mode=parallel twin and folds every mode=parallel/workers=N variant
 //	    into that pair's speedup-vs-workers curve; events/op must agree
@@ -56,18 +56,25 @@
 //	    has at least -min-cores cores, recorded as a waiver otherwise, exactly
 //	    like the sweep schema — and only to -enforce-speedup matches (default:
 //	    the -enforce pattern), because a workload whose windows are serial by
-//	    census (Fig3a: unbracketed global traffic) measures pure window
-//	    overhead, not parallel execution; and the workers=1 variant must stay
-//	    within -max-parity-overhead (default 10%) of serial events/sec and
-//	    allocs/op on every host — the degenerate one-worker engine is supposed
-//	    to skip the window machinery entirely, so its overhead is a bug, not a
-//	    missing-cores condition. The pdes comparisons use best-of-count values
+//	    census (large-message Fig3a: unbracketed global traffic) measures pure
+//	    window overhead, not parallel execution; the workers=1 variant must
+//	    stay within -max-parity-overhead (default 10%) of serial events/sec
+//	    and allocs/op on every host — the degenerate one-worker engine is
+//	    supposed to skip the window machinery entirely, so its overhead is a
+//	    bug, not a missing-cores condition; and -enforce-phased matches
+//	    (default: the -enforce-speedup pattern) must report a nonzero
+//	    phased-window fraction (the phased-frac metric the benchmarks emit)
+//	    on every workers>=2 variant, on every host — phases run on goroutines
+//	    regardless of core count, so a zero fraction means the collective
+//	    brackets regressed — plus -min-phased-fraction (default 0.5) when the
+//	    host clears -min-cores. The pdes comparisons use best-of-count values
 //	    rather than means so the tight parity bar measures engine overhead,
 //	    not shared-host scheduler noise.
 //
 //		go test -run '^$' -bench BenchmarkPDES -benchtime 1x -count 3 -benchmem . |
 //		    go run ./cmd/benchjson -schema pdes -enforce 'Fig3a|NodeLocal' \
-//		        -enforce-speedup NodeLocal -o results/BENCH_pdes.json
+//		        -enforce-speedup NodeLocal -enforce-phased 'size=2KB|NodeLocal' \
+//		        -o results/BENCH_pdes.json
 package main
 
 import (
@@ -155,17 +162,22 @@ type PDESComparison struct {
 	EventsMatch          bool              `json:"events_match"`
 	SerialAllocsPerOp    float64           `json:"serial_allocs_per_op,omitempty"`
 	ParallelAllocsPerOp  float64           `json:"parallel_allocs_per_op,omitempty"`
+	PhasedFraction       float64           `json:"phased_window_fraction,omitempty"`
 	Workers              []PDESWorkerPoint `json:"workers,omitempty"`
 }
 
-// PDESWorkerPoint is one workers=N run of a workload's parallel twin.
+// PDESWorkerPoint is one workers=N run of a workload's parallel twin. The
+// phased-window fraction is deterministic per (workload, worker count) — the
+// window schedule is part of the committed behavior — so the recorded value
+// is the metric itself, not a noisy measurement.
 type PDESWorkerPoint struct {
-	Workers      int     `json:"workers"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Speedup      float64 `json:"speedup"` // vs the serial twin
-	EventsPerOp  float64 `json:"events_per_op"`
-	AllocsPerOp  float64 `json:"allocs_per_op,omitempty"`
-	EventsMatch  bool    `json:"events_match"`
+	Workers        int     `json:"workers"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Speedup        float64 `json:"speedup"` // vs the serial twin
+	EventsPerOp    float64 `json:"events_per_op"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
+	PhasedFraction float64 `json:"phased_window_fraction,omitempty"`
+	EventsMatch    bool    `json:"events_match"`
 }
 
 // Report is the emitted JSON document (either schema).
@@ -192,8 +204,10 @@ type Criterion struct {
 	MinCores          int     `json:"min_cores,omitempty"`
 	SpeedupEnforced   *bool   `json:"speedup_enforced,omitempty"` // pdes: false below min_cores
 	MaxParityOverhead float64 `json:"max_parity_overhead,omitempty"`
+	MinPhasedFraction float64 `json:"min_phased_fraction,omitempty"` // pdes: fraction bar on >=min_cores hosts (nonzero always binds)
 	AppliesTo         string  `json:"applies_to"`
 	SpeedupAppliesTo  string  `json:"speedup_applies_to,omitempty"` // pdes: speedup-bar pattern when it differs from applies_to
+	PhasedAppliesTo   string  `json:"phased_applies_to,omitempty"`  // pdes: phased-fraction-bar pattern
 	Pass              bool    `json:"pass"`
 }
 
@@ -239,6 +253,8 @@ func main() {
 	minPDESSpeedup := flag.Float64("min-pdes-speedup", 2, "pdes: enforced events/sec speedup (when host-cores >= min-cores)")
 	maxParity := flag.Float64("max-parity-overhead", 0.10, "pdes: max fractional events/sec and allocs/op overhead of the workers=1 parallel run over serial (always enforced)")
 	enforceSpeedup := flag.String("enforce-speedup", "", "pdes: regexp selecting the benchmarks the speedup bar applies to (default: the -enforce pattern); identity and parity bars keep following -enforce")
+	enforcePhased := flag.String("enforce-phased", "", "pdes: regexp selecting the benchmarks whose workers>=2 variants must report a nonzero phased-window fraction (default: the -enforce-speedup pattern)")
+	minPhasedFrac := flag.Float64("min-phased-fraction", 0.5, "pdes: phased-window fraction the -enforce-phased matches must reach on hosts with >= min-cores cores (nonzero binds on every host)")
 	flag.Parse()
 
 	if *schema == "sweep" {
@@ -293,7 +309,7 @@ func main() {
 			rep.Criterion = &Criterion{MinSpeedup: *minSpeedup, MinAllocRatio: *minAllocRatio, AppliesTo: *enforce, Pass: pass}
 		}
 	case "pdes":
-		rep.Schema = "hierknem/bench-pdes/v2"
+		rep.Schema = "hierknem/bench-pdes/v3"
 		rep.HostCores = *hostCores
 		enforced := *hostCores >= *minCores
 		if *enforceSpeedup == "" {
@@ -303,18 +319,27 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("bad -enforce-speedup pattern: %w", err))
 		}
-		pass = comparePDES(rep, re, speedRe, *minPDESSpeedup, enforced, *maxParity)
+		if *enforcePhased == "" {
+			*enforcePhased = *enforceSpeedup
+		}
+		phasedRe, err := regexp.Compile(*enforcePhased)
+		if err != nil {
+			fatal(fmt.Errorf("bad -enforce-phased pattern: %w", err))
+		}
+		pass = comparePDES(rep, re, speedRe, phasedRe, *minPDESSpeedup, *minPhasedFrac, enforced, *maxParity)
 		rep.Criterion = &Criterion{
 			MinSpeedup:        *minPDESSpeedup,
 			MinCores:          *minCores,
 			SpeedupEnforced:   &enforced,
 			MaxParityOverhead: *maxParity,
+			MinPhasedFraction: *minPhasedFrac,
 			AppliesTo:         *enforce,
 			SpeedupAppliesTo:  *enforceSpeedup,
+			PhasedAppliesTo:   *enforcePhased,
 			Pass:              pass,
 		}
 		if !enforced {
-			fmt.Fprintf(os.Stderr, "benchjson: note: pdes speedup bar waived (%d cores < %d); events/op identity still enforced\n",
+			fmt.Fprintf(os.Stderr, "benchjson: note: pdes speedup and phased-fraction bars waived (%d cores < %d); events/op identity and nonzero-phased still enforced\n",
 				*hostCores, *minCores)
 		}
 	default:
@@ -579,17 +604,21 @@ func compareDES(rep *Report, baselinePath string, re *regexp.Regexp, minSpeedup,
 // is a correctness bug, not a tuning problem); the events/sec speedup bar
 // binds to speedRe matches, and only when enforceSpeedup is set (host has
 // enough cores for window execution to pay off) — speedRe is narrower than
-// re when a workload (Fig3a) runs serial windows by census and so measures
-// pure overhead; and the workers=1 parity bar — the degenerate one-worker
-// engine within maxParity of serial throughput and allocations — binds on
-// every host for re matches, because it measures bookkeeping overhead, not
-// parallelism. All pdes comparisons use the best-of-count value (max
-// events/sec, min allocs/op), not the mean: single-core CI containers show
-// 20-30% run-to-run scheduler noise that only ever depresses a run, and a
-// tight parity bar on means would gate on that noise instead of on engine
-// overhead. The means and stddevs stay recorded per benchmark. Returns
-// overall pass/fail.
-func comparePDES(rep *Report, re, speedRe *regexp.Regexp, minSpeedup float64, enforceSpeedup bool, maxParity float64) bool {
+// re when a workload (the large-message Fig3a point) runs serial windows by
+// census and so measures pure overhead; the workers=1 parity bar — the
+// degenerate one-worker engine within maxParity of serial throughput and
+// allocations — binds on every host for re matches, because it measures
+// bookkeeping overhead, not parallelism; and the phased-window-fraction bars
+// bind to phasedRe matches on every workers>=2 variant: the fraction must be
+// nonzero on every host (phases execute on goroutines regardless of core
+// count, so zero means the collective brackets regressed) and must reach
+// minPhasedFrac when enforceSpeedup is set. All pdes comparisons use the
+// best-of-count value (max events/sec, min allocs/op), not the mean:
+// single-core CI containers show 20-30% run-to-run scheduler noise that only
+// ever depresses a run, and a tight parity bar on means would gate on that
+// noise instead of on engine overhead. The means and stddevs stay recorded
+// per benchmark. Returns overall pass/fail.
+func comparePDES(rep *Report, re, speedRe, phasedRe *regexp.Regexp, minSpeedup, minPhasedFrac float64, enforceSpeedup bool, maxParity float64) bool {
 	byName := make(map[string]Benchmark, len(rep.Benchmarks))
 	for _, b := range rep.Benchmarks {
 		byName[b.Name] = b
@@ -620,6 +649,7 @@ func comparePDES(rep *Report, re, speedRe *regexp.Regexp, minSpeedup float64, en
 			ParallelEventsPerOp:  par.Metrics["events/op"],
 			SerialAllocsPerOp:    ser.best("allocs/op"),
 			ParallelAllocsPerOp:  par.best("allocs/op"),
+			PhasedFraction:       par.Metrics["phased-frac"],
 		}
 		if c.SerialEventsPerSec > 0 {
 			c.Speedup = c.ParallelEventsPerSec / c.SerialEventsPerSec
@@ -651,10 +681,11 @@ func comparePDES(rep *Report, re, speedRe *regexp.Regexp, minSpeedup float64, en
 				continue
 			}
 			wp := PDESWorkerPoint{
-				Workers:      nw,
-				EventsPerSec: wb.best("events/sec"),
-				EventsPerOp:  wb.Metrics["events/op"],
-				AllocsPerOp:  wb.best("allocs/op"),
+				Workers:        nw,
+				EventsPerSec:   wb.best("events/sec"),
+				EventsPerOp:    wb.Metrics["events/op"],
+				AllocsPerOp:    wb.best("allocs/op"),
+				PhasedFraction: wb.Metrics["phased-frac"],
 			}
 			if c.SerialEventsPerSec > 0 {
 				wp.Speedup = wp.EventsPerSec / c.SerialEventsPerSec
@@ -664,6 +695,17 @@ func comparePDES(rep *Report, re, speedRe *regexp.Regexp, minSpeedup float64, en
 				pass = false
 				fmt.Fprintf(os.Stderr, "benchjson: %s workers=%d events/op %.0f != serial %.0f — the engines diverged\n",
 					c.Benchmark, nw, wp.EventsPerOp, c.SerialEventsPerOp)
+			}
+			if phasedRe.MatchString(name) && nw >= 2 {
+				if wp.PhasedFraction <= 0 {
+					pass = false
+					fmt.Fprintf(os.Stderr, "benchjson: %s workers=%d phased-window fraction is zero — the collective brackets regressed\n",
+						c.Benchmark, nw)
+				} else if enforceSpeedup && minPhasedFrac > 0 && wp.PhasedFraction < minPhasedFrac {
+					pass = false
+					fmt.Fprintf(os.Stderr, "benchjson: %s workers=%d phased-window fraction %.2f < %.2f\n",
+						c.Benchmark, nw, wp.PhasedFraction, minPhasedFrac)
+				}
 			}
 			if bind && nw == 1 && maxParity > 0 {
 				if wp.Speedup > 0 && wp.Speedup < 1-maxParity {

@@ -63,6 +63,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -engine %q; known: serial, parallel\n", *engine)
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "-workers %d must be positive (omit the flag for the engine default)\n", *workers)
+		os.Exit(2)
+	}
 
 	cfg := config{nodes: *nodes, iters: *iters, aspN: *aspN, aspDim: *aspNodes, engMode: engMode, engWorkers: *workers}
 

@@ -113,7 +113,16 @@ func (m *Module) allgatherLeader(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Bu
 	// local rank without communication.
 	recvIdx := func(s int) int { return (me - s - 1 + 2*nodes) % nodes }
 
+	// Step 1 — every local rank pushing its block into the leader's rbuf —
+	// is node-confined: bracket it collectively when blocks fit the fabric
+	// bypass. Steps 2-3 interleave the leader's inter-node ring with the
+	// non-leaders' pulls of whole node blocks, so they stay unbracketed.
+	bracket := p.PhaseEligible(lcomm, block)
+
 	if hy.IsLeader {
+		if bracket {
+			p.EnterNodePhase()
+		}
 		dev := p.Knem()
 		p.Compute(spec.ShmLatency)
 		ck := dev.Register(rbuf, p.Core(), knem.RightRead|knem.RightWrite)
@@ -121,6 +130,9 @@ func (m *Module) allgatherLeader(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Bu
 		// My own block goes straight into place.
 		rbuf.Slice(int64(c.Rank(p))*block, block).CopyFrom(sbuf)
 		lcomm.Barrier(p) // step 1 complete: all local blocks pushed
+		if bracket {
+			p.ExitNodePhase()
+		}
 
 		// Step 2 pipelined with step 3: after each ring exchange the
 		// just-arrived node block is released to the local non-leaders,
@@ -148,6 +160,9 @@ func (m *Module) allgatherLeader(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Bu
 	}
 
 	// Non-leader.
+	if bracket {
+		p.EnterNodePhase()
+	}
 	p.Compute(spec.ShmLatency)
 	sh := lcomm.BBWait(p, key).(agShare)
 	// Step 1: push my block into the leader's rbuf (one-sided, offloaded).
@@ -155,6 +170,9 @@ func (m *Module) allgatherLeader(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Bu
 		panic(err)
 	}
 	lcomm.Barrier(p)
+	if bracket {
+		p.ExitNodePhase()
+	}
 	// My own node's aggregate can be pulled right away; remote blocks as
 	// they arrive (one-sided, overlapping the leader's ring).
 	myNodeOff := int64(me) * nodeBytes

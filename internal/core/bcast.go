@@ -4,8 +4,10 @@ import (
 	"strconv"
 
 	"hierknem/internal/buffer"
+	"hierknem/internal/hier"
 	"hierknem/internal/knem"
 	"hierknem/internal/mpi"
+	"hierknem/internal/topology"
 )
 
 // cookieShare is the blackboard record a leader posts after registering its
@@ -85,6 +87,14 @@ func (m *Module) Bcast(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer, root int) {
 	lcomm := hy.LComm
 	key := "hkbcast/" + strconv.Itoa(lcomm.Seq(p))
 	onRootNode := hy.NodeIndex == hy.RootNodeIndex
+
+	if nseg == 1 && p.PhaseEligible(lcomm, buf.Len()) {
+		// Single-segment messages have no cross-segment overlap to preserve,
+		// so the small path reorders to inter-node-then-intra-node and
+		// brackets the intra-node fan-out as a node phase.
+		m.bcastSmall(p, hy, buf, key, spec)
+		return
+	}
 
 	if hy.IsLeader {
 		// Register rbuf with the KNEM device; share the cookie with the
@@ -169,4 +179,61 @@ func (m *Module) Bcast(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer, root int) {
 		}
 	}
 	lcomm.Barrier(p) // step 45
+}
+
+// bcastSmall is the single-segment Bcast restructured for node-phase
+// bracketing. The general path interleaves inter-node forwarding with lcomm
+// barriers, which pins every rank of the node to the leader's global-domain
+// traffic; with one segment that interleaving buys nothing, so the leader
+// first completes all inter-node forwarding, then the whole node — leader
+// and non-leaders together, as the bracket placement rule requires — runs
+// the KNEM linear fan-out inside EnterNodePhase/ExitNodePhase. Under the
+// parallel engine each node's fan-out executes on its own worker; the serial
+// engine treats the brackets as annotation plus the exit latency, keeping
+// the two logs hex-identical.
+func (m *Module) bcastSmall(p *mpi.Proc, hy *hier.Hierarchy, buf *buffer.Buffer, key string, spec *topology.Spec) {
+	lcomm := hy.LComm
+	if hy.IsLeader {
+		ll := hy.LLComm
+		if llSize := ll.Size(); llSize > 1 {
+			me := ll.Rank(p)
+			rootLL := hy.RootNodeIndex
+			v := (me - rootLL + llSize) % llSize
+			parentV, childrenV := spanningTree(v, llSize, 1)
+			if v != 0 {
+				p.Recv(ll, buf, (rootLL+parentV)%llSize, hkTag)
+			}
+			var pending []*mpi.Request
+			for _, cv := range childrenV {
+				pending = append(pending, p.Isend(ll, buf, (rootLL+cv)%llSize, hkTag))
+			}
+			p.WaitAll(pending...)
+		}
+	}
+
+	// Node-confined intra-node fan-out: the leader registers the message and
+	// publishes the cookie; every non-leader fetches it whole with a
+	// one-sided get. One barrier fences the fetches before deregistration
+	// (BBWait already orders each fetch after the post).
+	p.EnterNodePhase()
+	if hy.IsLeader {
+		dev := p.Knem()
+		p.Compute(spec.ShmLatency) // registration syscall
+		ck := dev.Register(buf, p.Core(), knem.RightRead)
+		lcomm.BBPost(p, key, cookieShare{dev: dev, cookie: ck})
+		lcomm.Barrier(p) // fetches complete
+		p.Compute(spec.ShmLatency)
+		if err := dev.Deregister(ck); err != nil {
+			panic(err)
+		}
+		lcomm.BBClear(key)
+	} else {
+		p.Compute(spec.ShmLatency) // cookie lookup
+		sh := lcomm.BBWait(p, key).(cookieShare)
+		if err := sh.dev.Get(p.DES(), p.Core(), sh.cookie, 0, buf); err != nil {
+			panic(err)
+		}
+		lcomm.Barrier(p)
+	}
+	p.ExitNodePhase()
 }

@@ -39,6 +39,12 @@ func (m *Module) Scatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, ro
 	// block slot from the comm rank, which uniformContiguous guarantees.)
 	pos := int64(c.Rank(p) % lcomm.Size())
 
+	// The intra-node pull phase is node-confined: bracket it collectively
+	// when per-rank blocks fit the fabric bypass. The leader enters after
+	// its inter-node scatter; non-leaders enter immediately (they only park
+	// on node-local state until the leader publishes the cookie).
+	bracket := p.PhaseEligible(lcomm, block)
+
 	if hy.IsLeader {
 		// Inter-node phase: binomial scatter of node blocks over llcomm.
 		staging := scratchLike(rbuf, nodeBytes)
@@ -52,6 +58,9 @@ func (m *Module) Scatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, ro
 			staging.CopyFrom(sbuf)
 		}
 		// Intra-node phase: publish the staging block, non-leaders pull.
+		if bracket {
+			p.EnterNodePhase()
+		}
 		dev := p.Knem()
 		p.Compute(spec.ShmLatency)
 		ck := dev.Register(staging, p.Core(), knem.RightRead)
@@ -64,9 +73,15 @@ func (m *Module) Scatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, ro
 			panic(err)
 		}
 		lcomm.BBClear(key)
+		if bracket {
+			p.ExitNodePhase()
+		}
 		return
 	}
 
+	if bracket {
+		p.EnterNodePhase()
+	}
 	p.Compute(spec.ShmLatency)
 	sh := lcomm.BBWait(p, key).(cookieShare)
 	lcomm.Barrier(p)
@@ -74,6 +89,9 @@ func (m *Module) Scatter(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, ro
 		panic(err)
 	}
 	lcomm.Barrier(p)
+	if bracket {
+		p.ExitNodePhase()
+	}
 }
 
 // Gather is Scatter's mirror: non-leaders push their blocks into the
@@ -96,8 +114,16 @@ func (m *Module) Gather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, roo
 	key := "hkgather/" + strconv.Itoa(lcomm.Seq(p))
 	pos := int64(c.Rank(p) % lcomm.Size())
 
+	// The intra-node push phase is node-confined: bracket it collectively
+	// when per-rank blocks fit the fabric bypass. The leader exits before
+	// its inter-node gather.
+	bracket := p.PhaseEligible(lcomm, block)
+
 	if hy.IsLeader {
 		staging := scratchLike(sbuf, nodeBytes)
+		if bracket {
+			p.EnterNodePhase()
+		}
 		dev := p.Knem()
 		p.Compute(spec.ShmLatency)
 		ck := dev.Register(staging, p.Core(), knem.RightWrite)
@@ -109,6 +135,9 @@ func (m *Module) Gather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, roo
 			panic(err)
 		}
 		lcomm.BBClear(key)
+		if bracket {
+			p.ExitNodePhase()
+		}
 
 		if hy.LLComm.Size() > 1 {
 			var nodeDst *buffer.Buffer
@@ -122,12 +151,18 @@ func (m *Module) Gather(p *mpi.Proc, c *mpi.Comm, sbuf, rbuf *buffer.Buffer, roo
 		return
 	}
 
+	if bracket {
+		p.EnterNodePhase()
+	}
 	p.Compute(spec.ShmLatency)
 	sh := lcomm.BBWait(p, key).(cookieShare)
 	if err := sh.dev.Put(p.DES(), p.Core(), sh.cookie, pos*block, sbuf); err != nil {
 		panic(err)
 	}
 	lcomm.Barrier(p)
+	if bracket {
+		p.ExitNodePhase()
+	}
 }
 
 // Allreduce runs three phases: a binomial intra-node reduction to each
@@ -145,15 +180,27 @@ func (m *Module) Allreduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rb
 	spec := &p.World().Machine.Spec
 	key := "hkallreduce/" + strconv.Itoa(lcomm.Seq(p))
 
+	// Both intra-node phases are node-confined: bracket each collectively
+	// when the message fits the fabric bypass (the inter-node allreduce in
+	// between runs unbracketed, with the non-leaders parked on node-local
+	// blackboard state).
+	bracket := p.PhaseEligible(lcomm, sbuf.Len())
+
 	// Phase 1: intra-node reduction to the leader (lcomm rank 0).
 	var acc *buffer.Buffer
 	if hy.IsLeader {
 		acc = rbuf
 	}
+	if bracket {
+		p.EnterNodePhase()
+	}
 	if lcomm.Size() > 1 {
 		coll.ReduceBinomial(p, lcomm, a, sbuf, acc, 0)
 	} else if hy.IsLeader {
 		acc.CopyFrom(sbuf)
+	}
+	if bracket {
+		p.ExitNodePhase()
 	}
 
 	if hy.IsLeader {
@@ -169,6 +216,9 @@ func (m *Module) Allreduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rb
 		}
 		// Phase 3: publish; non-leaders pull.
 		if lcomm.Size() > 1 {
+			if bracket {
+				p.EnterNodePhase()
+			}
 			dev := p.Knem()
 			p.Compute(spec.ShmLatency)
 			ck := dev.Register(acc, p.Core(), knem.RightRead)
@@ -180,10 +230,16 @@ func (m *Module) Allreduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rb
 				panic(err)
 			}
 			lcomm.BBClear(key)
+			if bracket {
+				p.ExitNodePhase()
+			}
 		}
 		return
 	}
 
+	if bracket {
+		p.EnterNodePhase()
+	}
 	p.Compute(spec.ShmLatency)
 	sh := lcomm.BBWait(p, key).(cookieShare)
 	lcomm.Barrier(p)
@@ -191,4 +247,7 @@ func (m *Module) Allreduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rb
 		panic(err)
 	}
 	lcomm.Barrier(p)
+	if bracket {
+		p.ExitNodePhase()
+	}
 }

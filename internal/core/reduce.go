@@ -57,10 +57,21 @@ func (m *Module) Reduce(p *mpi.Proc, c *mpi.Comm, a coll.ReduceArgs, sbuf, rbuf 
 				acc = scratchLike(sbuf, sbuf.Len())
 			}
 		}
+		// The intra-node reduction to the leader is node-confined: bracket
+		// it (collectively — every lcomm member, leader included) when the
+		// message fits the fabric bypass, so parallel windows run each
+		// node's binomial fold on its own worker.
+		bracket := p.PhaseEligible(lcomm, sbuf.Len())
+		if bracket {
+			p.EnterNodePhase()
+		}
 		if lcomm.Size() > 1 {
 			coll.ReduceBinomial(p, lcomm, a, sbuf, acc, 0)
 		} else if hy.IsLeader {
 			acc.CopyFrom(sbuf)
+		}
+		if bracket {
+			p.ExitNodePhase()
 		}
 		if hy.IsLeader && hy.LLComm.Size() > 1 {
 			var out *buffer.Buffer

@@ -232,6 +232,22 @@ func (e *Engine) pop() *event {
 	return nil
 }
 
+// peek returns the event pop would return next without removing it, or nil
+// when none remain. A dead bucket head is reported as-is: the caller treats
+// it as not phase-eligible, and the subsequent pop releases it.
+func (e *Engine) peek() *event {
+	if e.bucketPos < len(e.bucket) {
+		if len(e.queue) > 0 && e.queue[0].at <= e.now {
+			return e.queue[0]
+		}
+		return e.bucket[e.bucketPos]
+	}
+	if len(e.queue) > 0 {
+		return e.queue[0]
+	}
+	return nil
+}
+
 // Timer is a handle to a scheduled event that can be cancelled. Timers are
 // plain values; the zero Timer is stopped. A Timer holds a generation
 // snapshot, so handles to fired events are inert — they can never cancel
@@ -315,8 +331,13 @@ func (p *Proc) After(d float64, fn func()) Timer {
 	}
 	e := p.eng
 	if par := e.par; par != nil && par.inPhase {
+		// The target must itself be confined: scheduling for an unconfined
+		// process from inside a phase would create residue work below the
+		// bound the phase was carved at (mixed windows execute exactly the
+		// serial prefix before the bound, so confined code must not be able
+		// to generate serial work inside it).
 		ws := par.phaseWS(p.dom)
-		if ws == nil {
+		if ws == nil || !p.confined {
 			panic(par.confineViolation(p.dom, e.now+d))
 		}
 		ev := ws.schedule(ws.now+d, p.dom)
@@ -536,11 +557,13 @@ func (p *Proc) Wake() {
 		return
 	}
 	if par := p.eng.par; par != nil && par.inPhase {
-		// A wake issued from worker context must target a process of a
-		// phase domain (in practice: the waker's own — confined code only
-		// wakes node-local peers); anything else couples domains.
+		// A wake issued from worker context must target a confined process
+		// of a phase domain (in practice: the waker's own — confined code
+		// only wakes node-local peers); anything else couples domains. The
+		// confinement check is what makes mixed windows sound: waking an
+		// unconfined process would create residue below the phase bound.
 		ws := par.phaseWS(p.dom)
-		if ws == nil {
+		if ws == nil || !p.confined {
 			panic(par.confineViolation(p.dom, p.eng.now))
 		}
 		if s := p.eng.san; s != nil {
@@ -650,6 +673,32 @@ func (e *Engine) Run() error {
 // block on its resume channel.
 func (e *Engine) dispatch(self *Proc, onMain bool) bool {
 	for {
+		// Mixed-window census: when armed and the next dispatch would be a
+		// confined event, try to carve the remaining window population into
+		// per-domain phase sets below the residue bound. The census makes
+		// progress either way — success dispatches at least the peeked event
+		// inside the phase (an eligible global minimum is always below the
+		// bound), failure disarms until a residue dispatch re-arms.
+		if par := e.par; par != nil && par.censusArmed {
+			if nxt := e.peek(); nxt != nil && phaseEvent(nxt) {
+				par.censusArmed = false
+				if e.censusFromQueue() {
+					if self != nil && par.domListed(self.dom) {
+						// Same handoff as the drain-time phase below: the
+						// parking process's own domain is active, so a fresh
+						// goroutine coordinates while it blocks on resume.
+						//hierflow:serial phase handoff: the spawned goroutine becomes the sole coordinator/dispatcher while the parking process blocks on its resume channel; the baton moves exactly once
+						go func() {
+							e.runPhase(e.par.activeScratch)
+							e.dispatch(nil, false)
+						}()
+						return false
+					}
+					e.runPhase(par.activeScratch)
+					continue
+				}
+			}
+		}
 		ev := e.pop()
 		if ev == nil {
 			// Parallel mode: a drained run queue is the window barrier.
@@ -694,6 +743,14 @@ func (e *Engine) dispatch(self *Proc, onMain bool) bool {
 			return e.finish(onMain)
 		}
 		e.processed++
+		// A residue (non-confined) dispatch re-arms the census: executing
+		// it can change the population's classification — raise the bound,
+		// wake confined processes — so the next confined head is worth a
+		// fresh census. Confined events dispatched serially (census failed)
+		// change nothing a failed census didn't already see.
+		if par := e.par; par != nil && par.censusOK && !par.censusArmed && !phaseEvent(ev) {
+			par.censusArmed = true
+		}
 		if p := ev.proc; p != nil {
 			gen := ev.parkGen
 			e.release(ev)

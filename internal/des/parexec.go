@@ -2,30 +2,41 @@
 //
 // PR 7's window machinery staged and promoted events in per-domain heaps but
 // still dispatched every promoted event from one goroutine. This file adds
-// the execution half of the conservative protocol: when every runnable event
-// of a freshly opened window belongs to a confinement-declared domain,
-// disjoint domains are handed to workers that each run a private dispatch
-// loop — a per-domain now-bucket + heap, a per-domain baton so a domain's
-// process goroutines resume on their owning worker, and a per-domain free
-// list shard so concurrent allocation never contends on one pool head.
+// the execution half of the conservative protocol: runs of confined events
+// are handed to workers that each run a private dispatch loop — a per-domain
+// now-bucket + heap, a per-domain baton so a domain's process goroutines
+// resume on their owning worker, and a per-domain free list shard so
+// concurrent allocation never contends on one pool head.
 //
-// # Eligibility (the confinement census)
+// # Eligibility (the mixed-window confinement census)
 //
-// A window executes in parallel only when all of the following hold, checked
-// over the promoted event set before any worker starts:
+// A phase executes the maximal prefix of the window's remaining population
+// that is provably independent per domain. The census computes the residue
+// bound B — the least (time, seq) of any event that must dispatch serially:
+// a global-domain event, a *Shared event (the fabric schedules all of its
+// events as shared: its sync/fill/completion machinery reads and writes
+// cross-domain state), or a resume of a process that has not declared
+// confinement (Proc.EnterConfined). Every confined event strictly below B
+// joins its domain's phase set; everything else is the residue, which stays
+// in the coordinator's run queue and dispatches serially after the phase
+// barrier. A phase runs when at least two domains contribute (and the
+// resolved worker count is at least two, and no MaxTime horizon can trip
+// inside the window); B = +Inf — no residue at all — recovers the PR 8
+// whole-window phase as a special case.
 //
-//   - at least two distinct domains have runnable events, and the engine's
-//     resolved worker count is at least two;
-//   - every runnable event is tagged with a non-global domain (dom >= 1) and
-//     was not scheduled through a *Shared variant (the fabric schedules all
-//     of its events as shared: its sync/fill/completion machinery reads and
-//     writes cross-domain state and must run under the serial dispatcher);
-//   - every runnable resume event targets a process that has declared
-//     confinement (Proc.EnterConfined): its code touches only state of its
-//     own domain until it leaves via ExitConfined;
-//   - no MaxTime horizon can trip inside the window.
+// The census runs at window open and re-arms after each serially dispatched
+// residue event, so one window can interleave several phase rounds with
+// residue stretches (a leader's inter-node sends between two bracketed
+// intra-node stretches, for instance).
 //
-// Any window failing the census dispatches serially, exactly as in PR 7.
+// Soundness of the prefix: confined code cannot create work below B outside
+// its own phase set — same-domain sub-horizon events stay in the private
+// queue and are dispatched in-phase, beyond-horizon events ride the outbox
+// (and the horizon is above every in-window bound), and waking or scheduling
+// for an unconfined process from inside a phase panics. The phase therefore
+// executes exactly the events the serial engine would have dispatched before
+// B, in the same per-domain order.
+//
 // Eligibility is a prediction; the runtime backstop is that engine entry
 // points reject cross-domain work during a phase with a typed
 // CausalityError (OpConfine) instead of diverging silently.
@@ -64,6 +75,7 @@ package des
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -80,6 +92,20 @@ const provSeqBase = uint64(1) << 63
 // outboxIdx marks an event parked in a worker outbox (neither heap, bucket,
 // nor staging).
 const outboxIdx = -3
+
+// wsQueuedDom is the event.inDom sentinel for an event sitting in a domain
+// worker's private heap during a phase. With mixed windows both a worker
+// queue and the frozen coordinator run queue hold events with idx >= 0, so
+// Timer.Cancel needs the marker to pick the right heap. Never visible
+// outside a phase: pop and the barrier leftover flush restore -1.
+const wsQueuedDom int32 = -2
+
+// maxCensusFails bounds failed census attempts per window. Each failure
+// costs a run-queue drain and restore, and a failed census can only flip to
+// success after a residue dispatch raises the bound or changes the
+// population, so the census re-arms per residue dispatch but gives up for
+// the window after this many misses.
+const maxCensusFails = 8
 
 // dispRec is one worker dispatch, logged for the barrier-time renumbering:
 // the dispatched event's (time, seq) and the number of sequence numbers the
@@ -103,6 +129,13 @@ type wstate struct {
 	bucket    []*event
 	bucketPos int
 	processed uint64
+
+	// boundAt/boundSeq is the phase's residue bound B: the private dispatch
+	// loop stops before the first event at or beyond it, and the barrier
+	// flushes whatever remains to the coordinator. +Inf when the window has
+	// no residue (the PR 8 whole-window phase).
+	boundAt  float64
+	boundSeq uint64
 
 	// pool is this domain's event free-list shard: in-phase allocation and
 	// release never touch the engine's global pool, so workers do not
@@ -184,6 +217,9 @@ func (p *Proc) EnterConfined(dom int32) {
 	if dom < 1 {
 		panic(fmt.Sprintf("des: EnterConfined(%d): confined domains are >= 1", dom))
 	}
+	if p.confined {
+		panic(fmt.Sprintf("des: EnterConfined(%d): process %s is already confined to domain %d (nested confinement brackets are unbalanced)", dom, p.name, p.dom))
+	}
 	p.dom = dom
 	p.confined = true
 }
@@ -198,6 +234,9 @@ func (p *Proc) EnterConfined(dom int32) {
 // a shorter exit would re-enter the running window unconfined and is
 // rejected by the schedule path with a CausalityError.
 func (p *Proc) ExitConfined(delay float64) {
+	if !p.confined {
+		panic("des: ExitConfined on process " + p.name + " without a matching EnterConfined (confinement brackets are unbalanced)")
+	}
 	p.confined = false
 	p.Sleep(delay)
 	p.dom = 0
@@ -250,39 +289,122 @@ func (p *parstate) domListed(dom int32) bool {
 	return false
 }
 
-// phaseEligible runs the confinement census over the collected promotion
-// scratch and returns the active domains when the window may execute in
-// parallel, or nil when it must dispatch serially.
-func (e *Engine) phaseEligible() []int32 {
+// phaseEvent reports whether the event may execute inside a parallel phase:
+// a live, non-shared event of a non-global domain whose target process (for
+// resumes) or scheduling process (for confined Proc.After callbacks) has
+// declared confinement.
+func phaseEvent(ev *event) bool {
+	if ev.shared || ev.dom < 1 || ev.dead() {
+		return false
+	}
+	if pr := ev.proc; pr != nil {
+		return pr.confined
+	}
+	return ev.confined
+}
+
+// censusScratch runs the mixed-window confinement census over the collected
+// scratch. It computes the residue bound B — the least (time, seq) of any
+// event that must dispatch serially — and carves the phase population: every
+// confined event strictly below B. When at least two domains contribute, the
+// residue moves to the run queue, the phase sets stay in scr, activeScratch
+// lists the contributing domains, the bound is stored for the worker loops,
+// and the census reports true. Otherwise everything stays in scr (the caller
+// restores or promotes it) and the per-window failure budget is charged.
+//
+// The scratch must hold no dead events: staging heaps never do (Cancel
+// removes staged events eagerly), and censusFromQueue recycles dead bucket
+// entries while collecting. A dead event here would define a spurious bound.
+func (e *Engine) censusScratch() bool {
 	p := e.par
+	bAt, bSeq := math.Inf(1), ^uint64(0)
+	for di := range p.scr {
+		for _, ev := range p.scr[di] {
+			if di >= 1 && phaseEvent(ev) {
+				continue
+			}
+			if ev.at < bAt || (ev.at == bAt && ev.seq < bSeq) {
+				bAt, bSeq = ev.at, ev.seq
+			}
+		}
+	}
+	below := func(ev *event) bool {
+		return ev.at < bAt || (ev.at == bAt && ev.seq < bSeq)
+	}
 	active := p.activeScratch[:0]
 	for di := 1; di < len(p.scr); di++ {
-		if len(p.scr[di]) > 0 {
-			active = append(active, int32(di))
+		for _, ev := range p.scr[di] {
+			if phaseEvent(ev) && below(ev) {
+				active = append(active, int32(di))
+				break
+			}
 		}
 	}
 	p.activeScratch = active
-	if len(p.scr) > 0 && len(p.scr[0]) > 0 {
-		return nil // global-domain work serializes the window
-	}
 	if len(active) < 2 {
-		return nil
+		p.censusFails++
+		if p.censusFails >= maxCensusFails {
+			p.censusOK = false
+		}
+		return false
 	}
-	for _, di := range active {
-		for _, ev := range p.scr[di] {
-			if ev.shared {
-				return nil
-			}
-			if pr := ev.proc; pr != nil {
-				if !pr.confined {
-					return nil
-				}
-			} else if !ev.confined {
-				return nil
+	for di := range p.scr {
+		scr := p.scr[di]
+		keep := scr[:0]
+		for _, ev := range scr {
+			if di >= 1 && phaseEvent(ev) && below(ev) {
+				keep = append(keep, ev)
+			} else {
+				e.queue.push(ev)
 			}
 		}
+		for i := len(keep); i < len(scr); i++ {
+			scr[i] = nil
+		}
+		p.scr[di] = keep
 	}
-	return active
+	p.boundAt, p.boundSeq = bAt, bSeq
+	return true
+}
+
+// censusFromQueue re-runs the confinement census mid-window: the run queue
+// and now-bucket are collected into the promotion scratch by domain (dead
+// bucket entries are recycled on the way) and censusScratch partitions them
+// exactly as at window open. On failure everything returns to the run queue;
+// the restore is order-exact because the heap's (time, seq) order is the
+// dispatch order — the now-bucket is an optimization, not an ordering
+// domain: every bucket event carries a larger seq than any queued event at
+// the same instant.
+func (e *Engine) censusFromQueue() bool {
+	p := e.par
+	for _, ev := range e.bucket[e.bucketPos:] {
+		if ev.dead() {
+			e.release(ev)
+			continue
+		}
+		e.bucketLive--
+		ev.idx = -1
+		di := int(ev.dom)
+		if di < 0 || di >= len(p.scr) {
+			di = 0
+		}
+		p.scr[di] = append(p.scr[di], ev)
+	}
+	e.bucket = e.bucket[:0]
+	e.bucketPos = 0
+	for len(e.queue) > 0 {
+		ev := e.queue.popMin()
+		di := int(ev.dom)
+		if di < 0 || di >= len(p.scr) {
+			di = 0
+		}
+		p.scr[di] = append(p.scr[di], ev)
+	}
+	if e.censusScratch() {
+		return true
+	}
+	e.restoreScratch()
+	return false
 }
 
 // runPhase executes one window's domains on parallel workers and merges the
@@ -295,9 +417,7 @@ func (e *Engine) runPhase(active []int32) {
 	e.ensureWS(len(p.heaps))
 	for _, d := range active {
 		ws := p.wsFor(d)
-		ws.begin(e, d, p.floor, p.scr[d])
-		p.staged -= len(p.scr[d])
-		p.collected += uint64(len(p.scr[d]))
+		ws.begin(e, d, p.floor, p.scr[d], p.boundAt, p.boundSeq)
 	}
 	nw := p.workers
 	if nw > len(active) {
@@ -346,14 +466,21 @@ func (e *Engine) runPhase(active []int32) {
 		p.scr[d] = p.scr[d][:0]
 	}
 	p.phases++
+	if !p.winPhased {
+		p.winPhased = true
+		p.phasedWindows++
+	}
 }
 
-// begin seeds the domain's private queue with its promoted events.
-func (ws *wstate) begin(e *Engine, dom int32, floor float64, scr []*event) {
+// begin seeds the domain's private queue with its phase set and arms the
+// residue bound the private dispatch loop must stop at.
+func (ws *wstate) begin(e *Engine, dom int32, floor float64, scr []*event, bAt float64, bSeq uint64) {
 	ws.e = e
 	ws.dom = dom
 	ws.active = true
 	ws.now = floor
+	ws.boundAt = bAt
+	ws.boundSeq = bSeq
 	ws.processed = 0
 	ws.allocs = 0
 	ws.allocCursor = 0
@@ -364,6 +491,7 @@ func (ws *wstate) begin(e *Engine, dom int32, floor float64, scr []*event) {
 		ws.mainWake = make(chan struct{})
 	}
 	for i, ev := range scr {
+		ev.inDom = wsQueuedDom
 		ws.queue.push(ev)
 		scr[i] = nil
 	}
@@ -377,13 +505,32 @@ func (ws *wstate) run() {
 	}
 }
 
-// pop mirrors Engine.pop on the domain's private two-tier queue.
+// beforeBound reports whether the event dispatches strictly before the
+// phase's residue bound. Provisional seqs compare correctly: an in-phase
+// allocation's final seq is drawn after every pre-phase seq including the
+// bound's, so for provisional events the comparison reduces to at < boundAt
+// — which is what the huge provisional seq yields.
+func (ws *wstate) beforeBound(ev *event) bool {
+	return ev.at < ws.boundAt || (ev.at == ws.boundAt && ev.seq < ws.boundSeq)
+}
+
+// pop mirrors Engine.pop on the domain's private two-tier queue, stopping at
+// the residue bound: a live head at or beyond B stays queued (the barrier
+// flushes it to the coordinator) and the phase drains.
 func (ws *wstate) pop() *event {
 	if ws.bucketPos < len(ws.bucket) {
 		if len(ws.queue) > 0 && ws.queue[0].at <= ws.now {
-			return ws.queue.popMin()
+			if !ws.beforeBound(ws.queue[0]) {
+				return nil
+			}
+			ev := ws.queue.popMin()
+			ev.inDom = -1
+			return ev
 		}
 		ev := ws.bucket[ws.bucketPos]
+		if !ev.dead() && !ws.beforeBound(ev) {
+			return nil
+		}
 		ws.bucket[ws.bucketPos] = nil
 		ws.bucketPos++
 		if ws.bucketPos == len(ws.bucket) {
@@ -394,7 +541,12 @@ func (ws *wstate) pop() *event {
 		return ev
 	}
 	if len(ws.queue) > 0 {
-		return ws.queue.popMin()
+		if !ws.beforeBound(ws.queue[0]) {
+			return nil
+		}
+		ev := ws.queue.popMin()
+		ev.inDom = -1
+		return ev
 	}
 	return nil
 }
@@ -496,6 +648,7 @@ func (ws *wstate) schedule(t float64, dom int32) *event {
 			if t < ws.now {
 				panic(fmt.Sprintf("des: scheduling event at %g before now %g", t, ws.now))
 			}
+			ev.inDom = wsQueuedDom
 			ws.queue.push(ev)
 		}
 		return ev
@@ -525,8 +678,14 @@ func (ws *wstate) resumeEventFor(p *Proc, gen uint64, t float64) {
 func (ws *wstate) sleep(p *Proc, d float64) {
 	t := ws.now + d
 	e := ws.e
+	// t < boundAt keeps the fast path below the residue bound: at or beyond
+	// it, the serial engine may interleave residue work before the resume,
+	// so the resume must materialize (it becomes a bound-stopped leftover
+	// the coordinator dispatches in true order). Strict comparison suffices:
+	// at t == boundAt the resume's final seq is above the bound's.
 	if ws.bucketPos == len(ws.bucket) &&
 		(len(ws.queue) == 0 || ws.queue[0].at > t) &&
+		t < ws.boundAt &&
 		t < e.par.horizon &&
 		!(e.MaxTime > 0 && t > e.MaxTime) {
 		seq := provSeqBase + ws.allocs
@@ -542,37 +701,43 @@ func (ws *wstate) sleep(p *Proc, d float64) {
 }
 
 // cancelInPhase handles Timer.Cancel while workers run. Events in a private
-// queue or outbox are cancelled directly (the canceller executes on that
-// domain's worker — holding a Timer to another domain's event inside a
+// queue, bucket or outbox are cancelled directly (the canceller executes on
+// that domain's worker — holding a Timer to another domain's event inside a
 // confined region is itself a confinement violation, backstopped by the race
-// detector); coordinator-staged events are deferred to the barrier, where
-// the gen guard makes stale cancels inert.
+// detector); coordinator state — staged heaps and, under mixed windows, the
+// frozen run queue holding the residue — is read-only while workers run, so
+// those cancels defer to the barrier, where the gen guard makes stale
+// cancels inert.
 func (e *Engine) cancelInPhase(ev *event, gen uint64) {
 	if ev.gen != gen {
 		return
 	}
 	par := e.par
 	switch {
-	case ev.inDom >= 0:
-		par.defMu.Lock()
-		par.defCancels = append(par.defCancels, defCancel{ev: ev, gen: gen})
-		par.defMu.Unlock()
-	case ev.idx >= 0:
+	case ev.inDom == wsQueuedDom:
 		ws := par.wsFor(ev.dom)
 		ws.queue.removeAt(ev.idx)
 		ws.release(ev)
+	case ev.inDom >= 0, ev.idx >= 0:
+		par.defMu.Lock()
+		par.defCancels = append(par.defCancels, defCancel{ev: ev, gen: gen})
+		par.defMu.Unlock()
 	case ev.idx == outboxIdx, ev.idx == bucketIdx:
 		// Marked dead in place; the bucket drain or the barrier's outbox
-		// sweep recycles the record.
+		// sweep recycles the record. The coordinator bucket is empty during
+		// a phase (the census collects it), so bucketIdx here is always a
+		// worker bucket.
 		ev.fn = nil
 		ev.proc = nil
 	}
 }
 
-// defCancel is a Timer.Cancel of a coordinator-staged event issued from
-// inside a phase, deferred to the barrier (the staging heaps are frozen
-// while workers run). Application order is irrelevant: each entry is
-// gen-guarded and staged events are unordered until promotion.
+// defCancel is a Timer.Cancel of a coordinator-owned event — staged in a
+// domain heap or frozen in the run queue as mixed-window residue — issued
+// from inside a phase and deferred to the barrier (coordinator queues are
+// frozen while workers run). Application order is irrelevant: each entry is
+// gen-guarded, staged events are unordered until promotion, and a frozen
+// residue event cannot fire before the barrier applies the cancel.
 type defCancel struct {
 	ev  *event
 	gen uint64
@@ -592,11 +757,20 @@ type phaseHead struct {
 func (e *Engine) mergePhase(active []int32) {
 	p := e.par
 	for _, dc := range p.defCancels {
-		if dc.ev.gen == dc.gen && dc.ev.inDom >= 0 {
-			p.heaps[dc.ev.inDom].removeAt(dc.ev.idx)
+		ev := dc.ev
+		if ev.gen != dc.gen {
+			continue
+		}
+		switch {
+		case ev.inDom >= 0:
+			p.heaps[ev.inDom].removeAt(ev.idx)
 			p.staged--
-			dc.ev.inDom = -1
-			e.release(dc.ev)
+			ev.inDom = -1
+			e.release(ev)
+		case ev.idx >= 0:
+			// Mixed-window residue frozen in the run queue.
+			e.queue.removeAt(ev.idx)
+			e.release(ev)
 		}
 	}
 	p.defCancels = p.defCancels[:0]
@@ -702,6 +876,34 @@ func (e *Engine) mergePhase(active []int32) {
 			e.stage(ev, ev.dom)
 		}
 		ws.outbox = ws.outbox[:0]
+		// Bound-stopped leftovers: in-phase work at or beyond the residue
+		// bound that the private loop could not dispatch. Finalize the seqs
+		// and hand the events to the coordinator's run queue — order is
+		// preserved because every leftover's (time, final seq) is at or
+		// above the bound, and its time is at or above maxNow (workers only
+		// advanced their clocks below the bound).
+		for len(ws.queue) > 0 {
+			ev := ws.queue.popMin()
+			ev.inDom = -1
+			if ev.seq >= provSeqBase {
+				ev.seq = ws.finals[ev.seq-provSeqBase]
+			}
+			e.queue.push(ev)
+		}
+		for i, ev := range ws.bucket[ws.bucketPos:] {
+			ws.bucket[ws.bucketPos+i] = nil
+			if ev.dead() {
+				ws.release(ev)
+				continue
+			}
+			if ev.seq >= provSeqBase {
+				ev.seq = ws.finals[ev.seq-provSeqBase]
+			}
+			ev.idx = -1
+			e.queue.push(ev)
+		}
+		ws.bucket = ws.bucket[:0]
+		ws.bucketPos = 0
 		ws.active = false
 	}
 	p.refreshDomMin()

@@ -291,3 +291,259 @@ func TestRunOnWorkersFanOut(t *testing.T) {
 		}
 	})
 }
+
+// mixedWorkload interleaves two confined domain processes with an
+// unconfined residue process whose sleeps land inside the same windows, then
+// parks the confined processes and wakes them from a global timer — the
+// population shape PR 8's all-or-nothing census always rejected. Mixed
+// windows must carve the confined prefixes into phases around the residue
+// while the committed log stays hex-identical to serial.
+func mixedWorkload(t *testing.T, eng *Engine) []string {
+	t.Helper()
+	perDom := make([][]string, 2)
+	var log []string
+	var procs []*Proc
+	for d := 0; d < 2; d++ {
+		d := d
+		p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+			p.EnterConfined(int32(d) + 1)
+			for i := 0; i < 10; i++ {
+				p.Sleep(2e-4)
+				perDom[d] = append(perDom[d], fmt.Sprintf("d%d i%d %s", d, i, hexT(p.Now())))
+			}
+			// Park confined; a residue timer wakes both at once, so the
+			// resumes enter the coordinator bucket and the mid-window census
+			// must collect them from there.
+			p.Park()
+			for i := 0; i < 4; i++ {
+				p.Sleep(1.5e-4)
+				perDom[d] = append(perDom[d], fmt.Sprintf("d%d w%d %s", d, i, hexT(p.Now())))
+			}
+			p.ExitConfined(5e-4)
+			log = append(log, fmt.Sprintf("exit d%d %s", d, hexT(p.Now())))
+		})
+		p.SetDomain(int32(d) + 1)
+		procs = append(procs, p)
+	}
+	eng.Spawn("residue", func(p *Proc) {
+		for i := 0; i < 8; i++ {
+			p.Sleep(3e-4)
+			log = append(log, fmt.Sprintf("res i%d %s", i, hexT(p.Now())))
+		}
+	})
+	eng.AtDomain(0, 3.1e-3, func() {
+		for _, p := range procs {
+			p.Wake()
+		}
+		log = append(log, "wakes "+hexT(eng.Now()))
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for d := range perDom {
+		log = append(log, perDom[d]...)
+	}
+	return append(log, fmt.Sprintf("final %s seq=%d processed=%d", hexT(eng.Now()), eng.seq, eng.Processed()))
+}
+
+// TestMixedWindowConfinedPlusResidue is the mixed-window tentpole gate at
+// the unit level: windows holding both confined and residue events must
+// still execute parallel phases (PR 8 serialized every such window) and
+// replay the serial log hex-exactly at every worker count.
+func TestMixedWindowConfinedPlusResidue(t *testing.T) {
+	want := mixedWorkload(t, New())
+	for _, workers := range []int{2, 3, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			eng := parallelEngine(2, 5e-4, workers)
+			diffLog(t, "mixed window", want, mixedWorkload(t, eng))
+			ws := eng.WindowStats()
+			if ws.Phases == 0 || ws.PhasedWindows == 0 {
+				t.Fatalf("mixed windows never phased: %+v", ws)
+			}
+			if ws.PhasedWindows > ws.Windows {
+				t.Fatalf("phased-window count exceeds window count: %+v", ws)
+			}
+		})
+	}
+}
+
+// TestMixedWindowCancelFrozenResidue pins the deferred-cancel path mixed
+// windows added: a confined process cancels, from inside a phase, a timer
+// frozen in the coordinator's run queue as residue of the same window. The
+// cancel must defer to the barrier and win (the callback never fires), and
+// the log must stay hex-identical to serial, where the cancel is immediate.
+func TestMixedWindowCancelFrozenResidue(t *testing.T) {
+	sawFrozen := false
+	run := func(eng *Engine, probe bool) []string {
+		var log []string
+		doomed := eng.AtDomain(0, 1.05e-3, func() { log = append(log, "SHOULD NOT FIRE") })
+		for d := 0; d < 2; d++ {
+			d := d
+			p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+				p.EnterConfined(int32(d) + 1)
+				for i := 0; i < 8; i++ {
+					p.Sleep(2e-4)
+					if d == 0 && i == 2 {
+						if probe && eng.InWorkerPhase() &&
+							doomed.ev.gen == doomed.gen && doomed.ev.inDom == -1 && doomed.ev.idx >= 0 {
+							sawFrozen = true
+						}
+						doomed.Cancel()
+					}
+				}
+				p.ExitConfined(5e-4)
+				log = append(log, fmt.Sprintf("exit d%d %s", d, hexT(p.Now())))
+			})
+			p.SetDomain(int32(d) + 1)
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return append(log, fmt.Sprintf("final %s %d pending=%d", hexT(eng.Now()), eng.Processed(), eng.Pending()))
+	}
+	want := run(New(), false)
+	for _, e := range want {
+		if e == "SHOULD NOT FIRE" {
+			t.Fatalf("serial reference fired the cancelled timer: %v", want)
+		}
+	}
+	eng := parallelEngine(2, 5e-4, 2)
+	diffLog(t, "frozen-residue cancel", want, run(eng, true))
+	if ws := eng.WindowStats(); ws.Phases == 0 {
+		t.Fatalf("no phase executed: %+v", ws)
+	}
+	if !sawFrozen {
+		t.Fatal("the cancel never observed the timer frozen in the run queue mid-phase — the test no longer exercises the deferred residue-cancel path")
+	}
+}
+
+// TestMixedWindowEpochBumpFromResidue pins lookahead re-derivation against
+// mixed windows: a residue callback merges "fabric components" mid-run (the
+// partition bumps its epoch and changes its lookahead), and the next window
+// must pick the new width up while phases keep executing and the log stays
+// hex-identical to serial (which ignores the partition entirely).
+func TestMixedWindowEpochBumpFromResidue(t *testing.T) {
+	run := func(eng *Engine, part *stubPartition) []string {
+		perDom := make([][]string, 2)
+		var log []string
+		for d := 0; d < 2; d++ {
+			d := d
+			p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+				p.EnterConfined(int32(d) + 1)
+				for i := 0; i < 12; i++ {
+					p.Sleep(2e-4)
+					perDom[d] = append(perDom[d], fmt.Sprintf("d%d i%d %s", d, i, hexT(p.Now())))
+				}
+				p.ExitConfined(6e-4)
+				log = append(log, fmt.Sprintf("exit d%d %s", d, hexT(p.Now())))
+			})
+			p.SetDomain(int32(d) + 1)
+		}
+		eng.AtDomain(0, 1.1e-3, func() {
+			if part != nil {
+				part.epoch++
+				part.look = 3e-4
+			}
+			log = append(log, "merge "+hexT(eng.Now()))
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for d := range perDom {
+			log = append(log, perDom[d]...)
+		}
+		return append(log, fmt.Sprintf("final %s %d", hexT(eng.Now()), eng.Processed()))
+	}
+	want := run(New(), nil)
+	part := &stubPartition{doms: 2, look: 5e-4}
+	eng := New()
+	eng.SetPartition(part)
+	eng.SetMode(ModeParallel)
+	eng.SetWorkers(2)
+	diffLog(t, "epoch bump", want, run(eng, part))
+	ws := eng.WindowStats()
+	if ws.Phases == 0 || ws.PhasedWindows == 0 {
+		t.Fatalf("no phase executed across the epoch bump: %+v", ws)
+	}
+	if ws.Lookahead != 3e-4 {
+		t.Fatalf("lookahead not re-derived after the epoch bump: %+v", ws)
+	}
+}
+
+// TestPhaseWakeUnconfinedPanics pins the mixed-window soundness guard: a
+// confined process waking an unconfined one from inside a phase would create
+// residue below the phase bound, so it must panic with OpConfine instead.
+func TestPhaseWakeUnconfinedPanics(t *testing.T) {
+	eng := parallelEngine(2, 5e-4, 2)
+	var leader *Proc
+	leader = eng.Spawn("leader", func(p *Proc) {
+		p.Park() // unconfined, parked for the duration
+	})
+	panicked := 0
+	for d := 0; d < 2; d++ {
+		d := d
+		p := eng.Spawn(fmt.Sprintf("dom%d", d+1), func(p *Proc) {
+			p.EnterConfined(int32(d) + 1)
+			for i := 0; i < 6; i++ {
+				p.Sleep(4e-4)
+				if d == 0 && i == 3 && eng.InWorkerPhase() {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								if _, ok := r.(*CausalityError); !ok {
+									t.Errorf("wake of unconfined proc panicked with %v, want *CausalityError", r)
+								}
+								panicked++
+							}
+						}()
+						leader.Wake()
+					}()
+				}
+			}
+			p.ExitConfined(5e-4)
+			if d == 0 {
+				leader.Wake() // release the parked leader from serial context
+			}
+		})
+		p.SetDomain(int32(d) + 1)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ws := eng.WindowStats(); ws.Phases == 0 {
+		t.Fatalf("no phase executed — guard never probed: %+v", ws)
+	}
+	if panicked != 1 {
+		t.Fatalf("in-phase wake of an unconfined process panicked %d times, want 1", panicked)
+	}
+}
+
+// TestConfinementBracketBalance pins the loud unbalanced-bracket contract
+// backing the hierlint bracket analyzer: nested enters and an exit without a
+// matching enter panic at the call site.
+func TestConfinementBracketBalance(t *testing.T) {
+	eng := New()
+	nested, bare := false, false
+	eng.Spawn("probe", func(p *Proc) {
+		p.EnterConfined(1)
+		func() {
+			defer func() { nested = recover() != nil }()
+			p.EnterConfined(2)
+		}()
+		p.ExitConfined(0)
+		func() {
+			defer func() { bare = recover() != nil }()
+			p.ExitConfined(0)
+		}()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !nested {
+		t.Fatal("nested EnterConfined did not panic")
+	}
+	if !bare {
+		t.Fatal("ExitConfined without a matching EnterConfined did not panic")
+	}
+}

@@ -159,6 +159,20 @@ type parstate struct {
 	activeScratch []int32  // census scratch: the pending phase's active domains
 	headScratch   []phaseHead
 
+	// Mixed-window census state. censusOK marks the current window as
+	// phase-capable (enough workers, no MaxTime trip inside it); censusArmed
+	// asks the dispatch loop to re-census when the next event is confined —
+	// armed after each serially dispatched residue event, so one window can
+	// run several phase rounds. censusFails is the per-window failure budget
+	// (maxCensusFails). boundAt/boundSeq is the pending phase's residue
+	// bound; winPhased flags that the current window ran at least one round.
+	censusOK    bool
+	censusArmed bool
+	censusFails int
+	boundAt     float64
+	boundSeq    uint64
+	winPhased   bool
+
 	// defMu guards defCancels: Timer.Cancel of a coordinator-staged event
 	// issued from a phase worker defers to the barrier (the staging heaps
 	// are frozen while workers run).
@@ -167,15 +181,16 @@ type parstate struct {
 
 	panics []any // per-worker panic capture, re-raised after the join
 
-	phases      uint64 // windows executed by the parallel phase path
-	phaseEvents uint64 // events dispatched inside phases
+	phases        uint64 // parallel phase rounds executed (a mixed window can run several)
+	phaseEvents   uint64 // events dispatched inside phases
+	phasedWindows uint64 // windows that executed at least one phase round
 }
 
 // Window-advance outcomes (Engine.advanceWindow).
 const (
 	windowNone     = iota // nothing staged, or a lookahead error (runErr set)
 	windowAdvanced        // promoted serially; keep dispatching
-	windowPhase           // census passed; scr + activeScratch carry the window
+	windowPhase           // census passed; scr + activeScratch carry the phase sets, the residue is queued
 )
 
 // Parallel promotion thresholds: below these, goroutine fan-out costs more
@@ -263,7 +278,14 @@ func (e *Engine) initParallel() {
 	p.collected = 0
 	p.phases = 0
 	p.phaseEvents = 0
+	p.phasedWindows = 0
 	p.inPhase = false
+	p.censusOK = false
+	p.censusArmed = false
+	p.censusFails = 0
+	p.boundAt = math.Inf(1)
+	p.boundSeq = ^uint64(0)
+	p.winPhased = false
 	p.activeScratch = p.activeScratch[:0]
 	p.defCancels = p.defCancels[:0]
 	p.epoch = 0
@@ -386,14 +408,28 @@ func (e *Engine) advanceWindow() int {
 		p.horizon = h
 	}
 	p.windows++
+	p.winPhased = false
+	p.censusFails = 0
+	p.censusArmed = false
 	// A window whose horizon could trip MaxTime must dispatch serially so
 	// Run can abort mid-window and surface the error.
-	if p.workers >= 2 && !(e.MaxTime > 0 && p.horizon > e.MaxTime) {
+	p.censusOK = p.workers >= 2 && !(e.MaxTime > 0 && p.horizon > e.MaxTime)
+	if p.censusOK {
 		e.collectBelow(p.horizon)
-		if active := e.phaseEligible(); active != nil {
+		// Everything collected leaves staging on every path — into phase
+		// sets, or into the run queue as residue or restored scratch — so
+		// the accounting happens here, once.
+		total := 0
+		for di := range p.scr {
+			total += len(p.scr[di])
+		}
+		p.staged -= total
+		p.collected += uint64(total)
+		if e.censusScratch() {
+			p.refreshDomMin()
 			return windowPhase
 		}
-		e.promoteScratch()
+		e.restoreScratch()
 		p.refreshDomMin()
 		return windowAdvanced
 	}
@@ -418,8 +454,8 @@ func (e *Engine) promoteBelow(h float64) {
 // promotion scratch slice — concurrently for large windows. Workers touch
 // disjoint heaps and disjoint event records, and the caller only proceeds
 // after the barrier, so the collection is race-free and order-independent.
-// staged/collected accounting is the consumer's job (promoteScratch or
-// runPhase).
+// staged/collected accounting is the consumer's job (promoteScratch, or
+// advanceWindow's census path).
 func (e *Engine) collectBelow(h float64) {
 	p := e.par
 	busy := 0
@@ -487,6 +523,22 @@ func (e *Engine) promoteScratch() {
 		}
 		p.staged -= len(scr)
 		p.collected += uint64(len(scr))
+		p.scr[di] = scr[:0]
+	}
+}
+
+// restoreScratch returns collected events to the run queue without touching
+// the staged/collected accounting: the failure paths of the census, whose
+// callers either already accounted for the collection (advanceWindow) or
+// collected from the run queue where no accounting applies (censusFromQueue).
+func (e *Engine) restoreScratch() {
+	p := e.par
+	for di := range p.scr {
+		scr := p.scr[di]
+		for i, ev := range scr {
+			e.queue.push(ev)
+			scr[i] = nil
+		}
 		p.scr[di] = scr[:0]
 	}
 }
@@ -582,8 +634,12 @@ type WindowStats struct {
 	Windows   uint64  // windows opened so far
 	Collected uint64  // events promoted out of staging heaps so far
 	Workers   int     // resolved phase worker count
-	Phases    uint64  // windows executed by the parallel phase path
+	Phases    uint64  // parallel phase rounds executed (a mixed window can run several)
 	PhaseEv   uint64  // events dispatched inside phases
+	// PhasedWindows counts windows that executed at least one phase round;
+	// PhasedWindows/Windows is the phased-window fraction the bench gates
+	// report.
+	PhasedWindows uint64
 }
 
 // WindowStats returns the current parallel-mode counters; the zero value in
@@ -594,16 +650,17 @@ func (e *Engine) WindowStats() WindowStats {
 		return WindowStats{Mode: e.mode}
 	}
 	return WindowStats{
-		Mode:      e.mode,
-		Domains:   len(p.heaps),
-		Lookahead: p.look,
-		Floor:     p.floor,
-		Horizon:   p.horizon,
-		Staged:    p.staged,
-		Windows:   p.windows,
-		Collected: p.collected,
-		Workers:   p.workers,
-		Phases:    p.phases,
-		PhaseEv:   p.phaseEvents,
+		Mode:          e.mode,
+		Domains:       len(p.heaps),
+		Lookahead:     p.look,
+		Floor:         p.floor,
+		Horizon:       p.horizon,
+		Staged:        p.staged,
+		Windows:       p.windows,
+		Collected:     p.collected,
+		Workers:       p.workers,
+		Phases:        p.phases,
+		PhaseEv:       p.phaseEvents,
+		PhasedWindows: p.phasedWindows,
 	}
 }

@@ -100,6 +100,7 @@ var Analyzers = []*Analyzer{
 	VtMonoAnalyzer,
 	ConfineAnalyzer,
 	AtomicFieldAnalyzer,
+	BracketAnalyzer,
 }
 
 // ByName returns the registered analyzer with that name, or nil.

@@ -17,6 +17,14 @@ type smShare struct {
 	sock *topology.Socket
 }
 
+// The three sm* helpers below are the shared intra-node stretches of every
+// classic two-level personality (hierarch, MVAPICH2). Each is node-confined
+// by construction — blackboard posts, intra-node barriers and shared-segment
+// copies among the ranks of one node — so when the message is small enough
+// for the fabric bypass, every participant (the leader included; the
+// brackets must be collective) wraps the whole stretch in EnterNodePhase/
+// ExitNodePhase and the parallel engine runs the node on its own worker.
+
 // smBcastIntra is the legacy shared-memory intra-node broadcast: the leader
 // (lcomm rank 0) copies the whole message into the shared segment
 // (copy-in, charged to the leader), then every non-leader copies it out
@@ -26,6 +34,10 @@ func smBcastIntra(p *mpi.Proc, lcomm *mpi.Comm, buf *buffer.Buffer) {
 	if lcomm.Size() <= 1 {
 		return
 	}
+	bracket := p.PhaseEligible(lcomm, buf.Len())
+	if bracket {
+		p.EnterNodePhase()
+	}
 	key := fmt.Sprintf("smbcast/%d", lcomm.Seq(p))
 	m := p.World().Machine
 	if lcomm.Rank(p) == 0 {
@@ -34,12 +46,15 @@ func smBcastIntra(p *mpi.Proc, lcomm *mpi.Comm, buf *buffer.Buffer) {
 		lcomm.Barrier(p) // release readers
 		lcomm.Barrier(p) // wait for readers to finish
 		lcomm.BBClear(key)
-		return
+	} else {
+		lcomm.Barrier(p)
+		sh := lcomm.BBWait(p, key).(smShare)
+		shm.CopyBuffer(p.DES(), m, p.Core(), sh.sock, p.Core().Socket, sh.buf, buf)
+		lcomm.Barrier(p)
 	}
-	lcomm.Barrier(p)
-	sh := lcomm.BBWait(p, key).(smShare)
-	shm.CopyBuffer(p.DES(), m, p.Core(), sh.sock, p.Core().Socket, sh.buf, buf)
-	lcomm.Barrier(p)
+	if bracket {
+		p.ExitNodePhase()
+	}
 }
 
 // smReduceIntra is the legacy shared-memory intra-node reduction: every
@@ -52,6 +67,10 @@ func smReduceIntra(p *mpi.Proc, lcomm *mpi.Comm, a coll.ReduceArgs, sbuf, acc *b
 	if lcomm.Size() <= 1 {
 		return
 	}
+	bracket := p.PhaseEligible(lcomm, sbuf.Len())
+	if bracket {
+		p.EnterNodePhase()
+	}
 	seq := lcomm.Seq(p)
 	m := p.World().Machine
 	me := lcomm.Rank(p)
@@ -61,16 +80,19 @@ func smReduceIntra(p *mpi.Proc, lcomm *mpi.Comm, a coll.ReduceArgs, sbuf, acc *b
 		lcomm.BBPost(p, fmt.Sprintf("smreduce/%d/%d", seq, me), smShare{buf: sbuf, sock: p.Core().Socket})
 		lcomm.Barrier(p) // contributions ready
 		lcomm.Barrier(p) // leader done
-		return
+	} else {
+		lcomm.Barrier(p)
+		for r := 1; r < lcomm.Size(); r++ {
+			key := fmt.Sprintf("smreduce/%d/%d", seq, r)
+			sh := lcomm.BBWait(p, key).(smShare)
+			p.ReduceLocal(a.Op, a.Dtype, acc, sh.buf)
+			lcomm.BBClear(key)
+		}
+		lcomm.Barrier(p)
 	}
-	lcomm.Barrier(p)
-	for r := 1; r < lcomm.Size(); r++ {
-		key := fmt.Sprintf("smreduce/%d/%d", seq, r)
-		sh := lcomm.BBWait(p, key).(smShare)
-		p.ReduceLocal(a.Op, a.Dtype, acc, sh.buf)
-		lcomm.BBClear(key)
+	if bracket {
+		p.ExitNodePhase()
 	}
-	lcomm.Barrier(p)
 }
 
 // smGatherIntra gathers every member's block into the leader's rbuf
@@ -83,25 +105,32 @@ func smGatherIntra(p *mpi.Proc, lcomm *mpi.Comm, sbuf, rbuf *buffer.Buffer) {
 		}
 		return
 	}
+	block := sbuf.Len()
+	bracket := p.PhaseEligible(lcomm, block)
+	if bracket {
+		p.EnterNodePhase()
+	}
 	seq := lcomm.Seq(p)
 	m := p.World().Machine
 	me := lcomm.Rank(p)
-	block := sbuf.Len()
 	if me != 0 {
 		shm.Copy(p.DES(), m, p.Core(), p.Core().Socket, p.Core().Socket, block, sbuf.ID())
 		lcomm.BBPost(p, fmt.Sprintf("smgather/%d/%d", seq, me), smShare{buf: sbuf, sock: p.Core().Socket})
 		lcomm.Barrier(p)
 		lcomm.Barrier(p)
-		return
+	} else {
+		rbuf.Slice(0, block).CopyFrom(sbuf)
+		lcomm.Barrier(p)
+		for r := 1; r < lcomm.Size(); r++ {
+			key := fmt.Sprintf("smgather/%d/%d", seq, r)
+			sh := lcomm.BBWait(p, key).(smShare)
+			dst := rbuf.Slice(int64(r)*block, block)
+			shm.CopyBuffer(p.DES(), m, p.Core(), sh.sock, p.Core().Socket, sh.buf, dst)
+			lcomm.BBClear(key)
+		}
+		lcomm.Barrier(p)
 	}
-	rbuf.Slice(0, block).CopyFrom(sbuf)
-	lcomm.Barrier(p)
-	for r := 1; r < lcomm.Size(); r++ {
-		key := fmt.Sprintf("smgather/%d/%d", seq, r)
-		sh := lcomm.BBWait(p, key).(smShare)
-		dst := rbuf.Slice(int64(r)*block, block)
-		shm.CopyBuffer(p.DES(), m, p.Core(), sh.sock, p.Core().Socket, sh.buf, dst)
-		lcomm.BBClear(key)
+	if bracket {
+		p.ExitNodePhase()
 	}
-	lcomm.Barrier(p)
 }

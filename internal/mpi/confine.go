@@ -46,6 +46,21 @@ func (p *Proc) ExitNodePhase() {
 // InNodePhase reports whether the rank is between node-phase brackets.
 func (p *Proc) InNodePhase() bool { return p.dp.Confined() }
 
+// PhaseEligible is the bracket placement rule the collective personalities
+// consult before wrapping an intra-node stretch in EnterNodePhase/
+// ExitNodePhase: every member of c must live on one node (and there must be
+// at least two — a singleton has nothing to confine), and messages of n
+// bytes must stay under both the eager threshold (rendezvous transfers park
+// the sender on global-domain fabric state) and the fabric bypass cutoff
+// (larger copies install fabric flows). The rule is necessarily collective:
+// a stretch may only be bracketed when every member of c — the leader
+// included — brackets it, because a confined rank waking an unconfined one
+// mid-phase is a causality violation the engine refuses.
+func (p *Proc) PhaseEligible(c *Comm, n int64) bool {
+	return c.IntraNode() && c.Size() > 1 &&
+		n < p.world.Conf.EagerThreshold && n < smallCopyCutoff
+}
+
 // confineCheckSend validates an Isend issued inside a node phase: the
 // destination must share the sender's node and the payload must stay under
 // both the eager threshold and the fabric bypass cutoff (larger copies

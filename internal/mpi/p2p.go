@@ -7,6 +7,7 @@ import (
 	"hierknem/internal/des"
 	"hierknem/internal/fabric"
 	"hierknem/internal/san"
+	"hierknem/internal/shm"
 	"hierknem/internal/topology"
 )
 
@@ -337,8 +338,10 @@ func (p *Proc) SendRecv(c *Comm, sendBuf *buffer.Buffer, dst, sendTag int, recvB
 // fabric: a sub-4 KiB copy lasts ~1 µs and contributes negligible bus load,
 // while installing a flow for it costs a full max-min recomputation. Fine-
 // grained workloads (ring exchanges of tiny blocks across hundreds of ranks)
-// would otherwise spend almost all simulation wall time in the fabric.
-const smallCopyCutoff = 4096
+// would otherwise spend almost all simulation wall time in the fabric. The
+// canonical constant lives in shm so the transports and the node-phase
+// bracket placement rule agree.
+const smallCopyCutoff = shm.SmallCopyCutoff
 
 // shmCopy charges one intra-node memory copy to core (blocking p) without
 // moving payload bytes; callers move data separately.

@@ -1,0 +1,51 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWorkersEnv pins the HIERKNEM_WORKERS contract: unset means "engine
+// default", a positive integer is taken verbatim, and everything else —
+// zero, negative, non-numeric — is a loud error rather than a silent clamp.
+// A clamped worker count would change which hosts run phased windows without
+// any trace in the configuration, so misconfiguration must fail world
+// construction instead.
+func TestWorkersEnv(t *testing.T) {
+	cases := []struct {
+		env     string
+		want    int
+		wantErr string // substring of the error, "" for success
+	}{
+		{env: "", want: 0},
+		{env: "1", want: 1},
+		{env: "8", want: 8},
+		{env: "0", wantErr: "must be at least 1"},
+		{env: "-3", wantErr: "must be at least 1"},
+		{env: "abc", wantErr: "is not an integer"},
+		{env: "2.5", wantErr: "is not an integer"},
+		{env: " 4", wantErr: "is not an integer"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run("env="+tc.env, func(t *testing.T) {
+			t.Setenv("HIERKNEM_WORKERS", tc.env)
+			n, err := workersEnv()
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("workersEnv() = %d, want error containing %q", n, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("workersEnv() error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("workersEnv() unexpected error: %v", err)
+			}
+			if n != tc.want {
+				t.Fatalf("workersEnv() = %d, want %d", n, tc.want)
+			}
+		})
+	}
+}

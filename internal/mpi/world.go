@@ -145,7 +145,11 @@ func NewWorld(m *topology.Machine, b *topology.Binding, conf Config) (*World, er
 	if engineModeEnv() == des.ModeParallel {
 		w.SetEngineMode(des.ModeParallel)
 	}
-	if n := workersEnv(); n > 0 {
+	n, err := workersEnv()
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
 		w.SetEngineWorkers(n)
 	}
 	return w, nil
@@ -190,14 +194,25 @@ func engineModeEnv() des.EngineMode {
 	return des.ModeSerial
 }
 
-// workersEnv reads the HIERKNEM_WORKERS override for the phase worker count
-// (0 or unset keeps the engine's GOMAXPROCS-derived default).
-func workersEnv() int {
-	n, err := strconv.Atoi(os.Getenv("HIERKNEM_WORKERS"))
-	if err != nil || n < 1 {
-		return 0
+// workersEnv reads the HIERKNEM_WORKERS override for the phase worker count.
+// Unset (or empty) keeps the engine's GOMAXPROCS-derived default; anything
+// else must be a positive integer. Rejecting zero, negative and non-numeric
+// values loudly — instead of silently falling back to the default — is
+// deliberate: a typo'd worker count that quietly ran the default pool once
+// cost a day of confused benchmarking.
+func workersEnv() (int, error) {
+	s := os.Getenv("HIERKNEM_WORKERS")
+	if s == "" {
+		return 0, nil
 	}
-	return n
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("mpi: HIERKNEM_WORKERS=%q is not an integer", s)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("mpi: HIERKNEM_WORKERS=%d must be at least 1 (unset it for the engine default)", n)
+	}
+	return n, nil
 }
 
 // SetEngineWorkers fixes the number of workers parallel windows execute on.
@@ -336,15 +351,27 @@ func (p *Proc) DES() *des.Proc { return p.dp }
 
 // ReduceLocal applies dst = op(dst, src), charging reduction arithmetic to
 // this rank's core: the flow reads two streams and writes one through the
-// local memory bus at the configured reduction bandwidth.
+// local memory bus at the configured reduction bandwidth. Inside a node
+// phase the arithmetic may not install a fabric flow, so it charges the
+// unloaded reduction rate directly — same virtual cost in both engine
+// modes; a confined reduction at or above the fabric bypass cutoff panics,
+// mirroring the shm.Copy bracket rule.
 func (p *Proc) ReduceLocal(op buffer.Op, dtype buffer.Datatype, dst, src *buffer.Buffer) {
 	n := dst.Len()
 	if n > 0 {
-		bus := p.core.Socket.MemBus
-		path := []*fabric.Resource{bus, bus, bus}
-		des.Await(p.dp, func(done func()) {
-			p.world.Machine.Fab.StartAfterClassed("compute", 0, float64(n), p.world.Conf.ReduceBandwidth, path, done)
-		})
+		if p.dp.Confined() {
+			if n >= smallCopyCutoff {
+				panic(fmt.Sprintf("mpi: rank %d reduced %d bytes inside a node phase; confined reductions must stay under the fabric bypass cutoff (%d)",
+					p.rank, n, smallCopyCutoff))
+			}
+			p.dp.Sleep(float64(n) / p.world.Conf.ReduceBandwidth)
+		} else {
+			bus := p.core.Socket.MemBus
+			path := []*fabric.Resource{bus, bus, bus}
+			des.Await(p.dp, func(done func()) {
+				p.world.Machine.Fab.StartAfterClassed("compute", 0, float64(n), p.world.Conf.ReduceBandwidth, path, done)
+			})
+		}
 	}
 	buffer.Reduce(op, dtype, dst, src)
 }

@@ -17,10 +17,21 @@
 package shm
 
 import (
+	"fmt"
+
 	"hierknem/internal/buffer"
 	"hierknem/internal/des"
 	"hierknem/internal/topology"
 )
+
+// SmallCopyCutoff is the size below which an intra-node copy may bypass the
+// fabric: a sub-4 KiB copy lasts ~1 µs and contributes negligible bus load,
+// while installing a flow for it costs a full max-min recomputation. It is
+// also the node-phase bracketing bound — a confined copy must stay under it,
+// because larger copies install fabric flows, which are global-domain state.
+// The mpi layer and the collective personalities share this one constant so
+// the bracket placement rule and the transport agree.
+const SmallCopyCutoff = 4096
 
 // Copy blocks p while core moves n bytes from srcSock memory to dstSock
 // memory. srcBufID identifies the source allocation for L3-residency
@@ -29,12 +40,25 @@ import (
 // source and destination memory buses. When source and destination are the
 // same socket, the bus appears twice in the path and is charged twice
 // (read + write).
+//
+// Inside a node phase (p confined) the copy may not install a fabric flow,
+// so it charges the unloaded source-side rate directly — the same rate both
+// engine modes compute, keeping serial and parallel logs hex-identical. A
+// confined copy at or above SmallCopyCutoff panics: the bracket placement
+// rule was violated upstream.
 func Copy(p *des.Proc, m *topology.Machine, core *topology.Core, srcSock, dstSock *topology.Socket, n int64, srcBufID uint64) {
 	if n <= 0 {
 		p.Sleep(m.Spec.ShmLatency)
 		return
 	}
 	srcRes, rate := srcSock.ReadSide(&m.Spec, srcBufID, n, core.Socket == srcSock)
+	if p.Confined() {
+		if n >= SmallCopyCutoff {
+			panic(fmt.Sprintf("shm: %d-byte copy inside a node phase; confined copies must stay under the fabric bypass cutoff (%d)", n, SmallCopyCutoff))
+		}
+		p.Sleep(m.Spec.ShmLatency + float64(n)/rate)
+		return
+	}
 	done := des.AwaitBegin(p, 1)
 	m.Fab.StartAfterPath2("copy", m.Spec.ShmLatency, float64(n), rate, srcRes, dstSock.MemBus, done)
 	des.AwaitEnd(p)

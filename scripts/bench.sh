@@ -23,19 +23,25 @@
 #      on hosts with >=4 cores the parallel run must be >=3x faster.
 #
 #   4. BenchmarkPDES* (conservative parallel DES engine): the Fig3a 768-rank
-#      broadcast and the NodeLocal 768-rank bracketed workload, each run
-#      under mode=serial, mode=parallel and a workers={1,2,4} curve.
-#      events/op must agree exactly between serial and every parallel
-#      variant (always enforced — the parallel engine promises a
-#      hex-identical event log); the workers=1 degenerate engine must stay
-#      within 10% of serial events/sec and allocs/op on every host
+#      broadcast (swept over 2KB and 64KB) and the NodeLocal 768-rank
+#      bracketed workload, each run under mode=serial, mode=parallel and a
+#      workers={1,2,4} curve. events/op must agree exactly between serial
+#      and every parallel variant (always enforced — the parallel engine
+#      promises a hex-identical event log); the workers=1 degenerate engine
+#      must stay within 10% of serial events/sec and allocs/op on every host
 #      (best-of-count values, so the bar measures engine overhead rather
-#      than scheduler noise); and on
-#      hosts with >=4 cores the NodeLocal parallel engine must reach >=2x
-#      the serial events/sec, waived (and recorded as waived) on smaller
-#      hosts like the sweep gate. The speedup bar binds to NodeLocal only:
-#      Fig3a's windows are serial by census (collectives are not bracketed),
-#      so there it measures pure window overhead.
+#      than scheduler noise); the bracketed workloads (the 2KB Fig3a point
+#      rides HierKNEM's node-phase-bracketed small-broadcast path, NodeLocal
+#      brackets everything) must report a nonzero phased-window fraction on
+#      every workers>=2 variant on every host — phases execute on goroutines
+#      regardless of core count, so zero means the brackets regressed — and
+#      >=50% of windows phased on >=4-core hosts; and on hosts with >=4
+#      cores the NodeLocal parallel engine must reach >=2x the serial
+#      events/sec, waived (and recorded as waived) on smaller hosts like the
+#      sweep gate. The speedup bar binds to NodeLocal only: the 64KB Fig3a
+#      point is above the fabric-bypass cutoff, so its windows are serial by
+#      census and measure pure window overhead, and the 2KB point's phased
+#      windows are gated by fraction, not wall clock.
 #
 # Environment knobs:
 #   DES_COUNT        -count for the DES suite (default 3; the gate compares
@@ -57,6 +63,8 @@
 #                    cores (default 2)
 #   MAX_PDES_PARITY  max fractional workers=1 overhead vs serial, both
 #                    events/sec and allocs/op, every host (default 0.10)
+#   MIN_PHASED_FRAC  enforced phased-window fraction on bracketed workloads
+#                    at >=4 cores (default 0.5; nonzero binds on every host)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -142,8 +150,10 @@ go run ./cmd/benchjson \
     -schema pdes \
     -min-pdes-speedup "${MIN_PDES_SPEEDUP:-2}" \
     -max-parity-overhead "${MAX_PDES_PARITY:-0.10}" \
+    -min-phased-fraction "${MIN_PHASED_FRAC:-0.5}" \
     -enforce 'Fig3a|NodeLocal' \
     -enforce-speedup 'NodeLocal' \
+    -enforce-phased 'Fig3a.*size=2KB|NodeLocal' \
     -o results/BENCH_pdes.json < results/bench_pdes.txt
 
 echo "bench: wrote results/BENCH_des.json, BENCH_fabric.json, BENCH_sweep.json and BENCH_pdes.json (criteria passed)"

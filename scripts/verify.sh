@@ -5,11 +5,12 @@
 #   vet       the stock Go analyzers
 #   hierlint  the simulator-invariant analyzers (cmd/hierlint):
 #             determinism, requesthygiene, errcheck, bufferescape,
-#             runisolation, poolreturn, tagspace, plus the hierflow
-#             interprocedural PDES preconditions: vtmono, confine,
+#             runisolation, poolreturn, tagspace, bracket (balanced
+#             EnterNodePhase/ExitNodePhase collective brackets), plus the
+#             hierflow interprocedural PDES preconditions: vtmono, confine,
 #             atomicfield. Runs twice (cold-ish, then warm) and prints
 #             both timings so result-cache effectiveness stays visible;
-#             also gates that all ten analyzers are registered.
+#             also gates that all eleven analyzers are registered.
 #   test      the full suite under the race detector
 #   pdes      the root conformance/equivalence/isolation suites rerun with
 #             HIERKNEM_ENGINE=parallel (every world on the conservative
@@ -40,8 +41,8 @@ go vet ./...
 
 echo "==> hierlint ./..."
 go build -o /tmp/hierlint.verify ./cmd/hierlint
-if [ "$(/tmp/hierlint.verify -list | wc -l)" -ne 10 ]; then
-  echo "hierlint: expected 10 registered analyzers" >&2
+if [ "$(/tmp/hierlint.verify -list | wc -l)" -ne 11 ]; then
+  echo "hierlint: expected 11 registered analyzers" >&2
   /tmp/hierlint.verify -list >&2
   exit 1
 fi

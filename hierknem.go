@@ -65,6 +65,9 @@ type (
 	ReduceArgs = coll.ReduceArgs
 	// EngineMode selects the DES engine organization (see World.SetEngineMode).
 	EngineMode = des.EngineMode
+	// GuardMode selects whether per-message confinement guards run inside
+	// statically proved node-phase regions (see World.SetGuardMode).
+	GuardMode = mpi.GuardMode
 )
 
 // Engine modes: the serial reference, and the conservative parallel mode
@@ -77,6 +80,16 @@ type (
 const (
 	EngineSerial   = des.ModeSerial
 	EngineParallel = des.ModeParallel
+)
+
+// Guard modes: every confinement guard live (the default), or the
+// per-message guards skipped inside regions a valid phasesafe manifest
+// proves node-confined (hierlint -manifest emits it; HIERKNEM_GUARDS=elide
+// opts in). Elision is fail-closed — stale or missing proofs refuse — and
+// cannot change the event log: the guards are pure assertions.
+const (
+	GuardChecked = mpi.GuardChecked
+	GuardElided  = mpi.GuardElided
 )
 
 // Cluster presets from the paper's evaluation (Grid'5000).

@@ -1,0 +1,403 @@
+package flow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ConfineCutoff is the static size bound the phasesafe proof is computed
+// against: the default eager threshold (mpi.Config.EagerThreshold) and the
+// fabric bypass cutoff (shm.SmallCopyCutoff) are both 4096, and the runtime
+// confinement guards reject any in-phase transfer of >= this many bytes.
+// The guard manifest records this value; a world configured with a smaller
+// eager threshold refuses to elide against a proof computed at 4096.
+const ConfineCutoff = 4096
+
+// confineAxioms models the runtime confinement guards at the API boundary.
+// Derived facts cannot see path-sensitive branches (shm.Copy only touches
+// the fabric when the calling process is NOT confined; knem.Get copies
+// exactly dst.Len() bytes), so the communication primitives are axiomatized
+// and everything above them is derived. Entries here override the derived
+// confinement summary wholesale (FactFor overlays them last).
+//
+//lint:ignore runisolation immutable axiom table: initialized here, only ever read
+var confineAxioms = map[string]Fact{
+	// Point-to-point: the communicator must be intra-node, the payload
+	// bounded; a wildcard source on a multi-node communicator panics.
+	"(*hierknem/internal/mpi.Proc).Isend": {ConfineComms: []int{0}, ConfineSizes: []int{1}},
+	"(*hierknem/internal/mpi.Proc).Send":  {ConfineComms: []int{0}, ConfineSizes: []int{1}},
+	"(*hierknem/internal/mpi.Proc).Irecv": {ConfineComms: []int{0}, ConfineSizes: []int{1}, WildcardParams: []int{2}},
+	"(*hierknem/internal/mpi.Proc).Recv":  {ConfineComms: []int{0}, ConfineSizes: []int{1}, WildcardParams: []int{2}},
+	"(*hierknem/internal/mpi.Proc).SendRecv": {
+		ConfineComms: []int{0}, ConfineSizes: []int{1, 4}, WildcardParams: []int{5},
+	},
+	// Local reduction charges compute on both operand lengths under the
+	// same in-phase size guard as the copies.
+	"(*hierknem/internal/mpi.Proc).ReduceLocal": {ConfineSizes: []int{2, 3}},
+
+	// Comm machinery: Split rebuilds membership (never node-confined);
+	// Barrier is intra-node only when its receiver is; the blackboard is
+	// shared memory plus park/wake — safe on any communicator.
+	"(*hierknem/internal/mpi.Comm).Split":   {MaySplit: true},
+	"(*hierknem/internal/mpi.Comm).Barrier": {ConfineComms: []int{-1}},
+	"(*hierknem/internal/mpi.Comm).BBPost":  {},
+	"(*hierknem/internal/mpi.Comm).BBWait":  {},
+	"(*hierknem/internal/mpi.Comm).BBClear": {},
+	"(*hierknem/internal/mpi.Comm).Seq":     {},
+
+	// Shared-memory segment copies: n (resp. the source buffer's length)
+	// must stay under the cutoff or the confined branch panics.
+	"hierknem/internal/shm.Copy":       {ConfineSizes: []int{5}},
+	"hierknem/internal/shm.CopyBuffer": {ConfineSizes: []int{5}},
+
+	// Kernel-assisted single-copy: moves exactly the local buffer's
+	// length (reg.buf.Slice(off, dst.Len())); registration is bookkeeping.
+	"(*hierknem/internal/knem.Device).Get":        {ConfineSizes: []int{4}},
+	"(*hierknem/internal/knem.Device).Put":        {ConfineSizes: []int{4}},
+	"(*hierknem/internal/knem.Device).Register":   {},
+	"(*hierknem/internal/knem.Device).Deregister": {},
+
+	// Direct fabric flow starts are never node-confined.
+	"(*hierknem/internal/fabric.Net).Start":             {MayFabricTouch: true},
+	"(*hierknem/internal/fabric.Net).StartClassed":      {MayFabricTouch: true},
+	"(*hierknem/internal/fabric.Net).StartAfter":        {MayFabricTouch: true},
+	"(*hierknem/internal/fabric.Net).StartAfterClassed": {MayFabricTouch: true},
+	"(*hierknem/internal/fabric.Net).StartAfterPath2":   {MayFabricTouch: true},
+
+	// Scratch allocators and views: the result buffer's length is the
+	// named size argument, which is how size facts flow through temps.
+	"hierknem/internal/coll.Like":              {BufLen: []int{1}},
+	"hierknem/internal/core.scratchLike":       {BufLen: []int{1}},
+	"(*hierknem/internal/buffer.Buffer).Slice": {BufLen: []int{1}},
+	"hierknem/internal/buffer.NewPhantom":      {BufLen: []int{0}},
+}
+
+const bufferLenID = "(*hierknem/internal/buffer.Buffer).Len"
+
+// CallArg returns call's argument expression for a fact index: the receiver
+// for -1, the positional argument otherwise, nil when out of range.
+func CallArg(info *types.Info, call *ast.CallExpr, j int) ast.Expr {
+	if j == -1 {
+		return ReceiverExpr(info, call)
+	}
+	if j >= 0 && j < len(call.Args) {
+		return call.Args[j]
+	}
+	return nil
+}
+
+// IsBuffer reports whether t is (a pointer to) buffer.Buffer.
+func IsBuffer(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == "hierknem/internal/buffer" && tn.Name() == "Buffer"
+}
+
+// ConstInt returns e's compile-time integer value, if it has one.
+func ConstInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+// RuntimeFuncName converts a types.Func FullName to the name format
+// runtime.CallersFrames reports, which is what the guard manifest keys
+// elision on: "(*pkg/path.T).M" becomes "pkg/path.(*T).M" and
+// "(pkg/path.T).M" becomes "pkg/path.T.M".
+func RuntimeFuncName(fn *types.Func) string {
+	full := fn.FullName()
+	if !strings.HasPrefix(full, "(") {
+		return full // plain function: pkg/path.F
+	}
+	end := strings.Index(full, ")")
+	if end < 0 {
+		return full
+	}
+	recv, method := full[1:end], full[end+1:] // method includes the leading "."
+	ptr := strings.HasPrefix(recv, "*")
+	if ptr {
+		recv = recv[1:]
+	}
+	dot := strings.LastIndex(recv, ".")
+	if dot < 0 {
+		return full
+	}
+	pkg, typ := recv[:dot], recv[dot+1:]
+	if ptr {
+		return pkg + ".(*" + typ + ")" + method
+	}
+	return pkg + "." + typ + method
+}
+
+// confineFact derives fi's confinement summary from its calls under the
+// current fact environment: obligations a call places on parameters
+// propagate to the caller's own obligation sets, and obligations placed on
+// anything the caller cannot root in a parameter become May* bits.
+func (fi *FuncInfo) confineFact(f *Fact) {
+	in := fi.info
+	comms := map[int]bool{}
+	sizes := map[int]bool{}
+	wilds := map[int]bool{}
+	for _, c := range fi.Calls {
+		if c.Callee == nil {
+			continue // indirect calls are reported by the region checker
+		}
+		cf := in.FactFor(c.Callee)
+		f.MaySplit = f.MaySplit || cf.MaySplit
+		f.MayFabricTouch = f.MayFabricTouch || cf.MayFabricTouch
+		f.MayCrossNodeSend = f.MayCrossNodeSend || cf.MayCrossNodeSend
+		f.MayWildcardRecvMultiNode = f.MayWildcardRecvMultiNode || cf.MayWildcardRecvMultiNode
+		f.MaySendSizeUnbounded = f.MaySendSizeUnbounded || cf.MaySendSizeUnbounded
+
+		for _, j := range cf.ConfineComms {
+			ps, ok := fi.commParams(CallArg(in.TypesInfo, c.Expr, j), 0)
+			if !ok {
+				if callMayWildcard(in, c, cf) {
+					f.MayWildcardRecvMultiNode = true
+				} else {
+					f.MayCrossNodeSend = true
+				}
+				continue
+			}
+			for k := range ps {
+				comms[k] = true
+			}
+		}
+		for _, j := range cf.ConfineSizes {
+			arg := CallArg(in.TypesInfo, c.Expr, j)
+			if arg == nil {
+				continue
+			}
+			var ps map[int]bool
+			var ok bool
+			if tv, found := in.TypesInfo.Types[arg]; found && IsBuffer(tv.Type) {
+				ps, ok = fi.bufParams(arg, 0)
+			} else {
+				ps, ok = fi.sizeParams(arg, 0)
+			}
+			if !ok {
+				f.MaySendSizeUnbounded = true
+				continue
+			}
+			for k := range ps {
+				sizes[k] = true
+			}
+		}
+		for _, j := range cf.WildcardParams {
+			if arg := CallArg(in.TypesInfo, c.Expr, j); arg != nil {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					if v, ok := in.TypesInfo.ObjectOf(id).(*types.Var); ok {
+						if idx, isParam := fi.ParamIndex(v); isParam {
+							wilds[idx] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	f.ConfineComms = sortedKeys(comms)
+	f.ConfineSizes = sortedKeys(sizes)
+	f.WildcardParams = sortedKeys(wilds)
+}
+
+// callMayWildcard reports whether c can post a wildcard receive: any of the
+// callee's wildcard params is AnySource (-1) or not statically known.
+func callMayWildcard(in *Info, c Call, cf Fact) bool {
+	for _, j := range cf.WildcardParams {
+		arg := CallArg(in.TypesInfo, c.Expr, j)
+		if arg == nil {
+			continue
+		}
+		if v, ok := ConstInt(in.TypesInfo, arg); ok {
+			if v < 0 {
+				return true
+			}
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func sortedKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// commParams roots a communicator expression in the function's parameters:
+// the set of parameter indices the value can alias (receiver = -1), or
+// !ok when any reaching definition escapes the parameter space.
+func (fi *FuncInfo) commParams(e ast.Expr, depth int) (map[int]bool, bool) {
+	if e == nil || depth > 8 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := fi.info.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	out := map[int]bool{}
+	idx, isParam := fi.ParamIndex(v)
+	if isParam {
+		out[idx] = true
+	}
+	ds := fi.defs[v]
+	if !isParam && len(ds) == 0 {
+		return nil, false
+	}
+	for _, d := range ds {
+		if d.RHS == nil {
+			if isParam {
+				continue // the parameter binding itself
+			}
+			return nil, false
+		}
+		if d.Range || d.Augmented {
+			return nil, false
+		}
+		ps, ok := fi.commParams(d.RHS, depth+1)
+		if !ok {
+			return nil, false
+		}
+		for k := range ps {
+			out[k] = true
+		}
+	}
+	return out, true
+}
+
+// sizeParams roots an integer size expression: the empty set when it is a
+// compile-time constant under the cutoff, the parameter indices whose size
+// quantities bound it otherwise.
+func (fi *FuncInfo) sizeParams(e ast.Expr, depth int) (map[int]bool, bool) {
+	if e == nil || depth > 8 {
+		return nil, false
+	}
+	e = ast.Unparen(e)
+	in := fi.info
+	if v, ok := ConstInt(in.TypesInfo, e); ok {
+		if v >= 0 && v < ConfineCutoff {
+			return map[int]bool{}, true
+		}
+		return nil, false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := in.TypesInfo.ObjectOf(e).(*types.Var)
+		if !ok {
+			return nil, false
+		}
+		out := map[int]bool{}
+		idx, isParam := fi.ParamIndex(v)
+		if isParam {
+			out[idx] = true
+		}
+		ds := fi.defs[v]
+		if !isParam && len(ds) == 0 {
+			return nil, false
+		}
+		for _, d := range ds {
+			if d.RHS == nil {
+				continue // parameter binding, or zero-value decl (0 is bounded)
+			}
+			if d.Range || d.Augmented {
+				return nil, false
+			}
+			ps, ok := fi.sizeParams(d.RHS, depth+1)
+			if !ok {
+				return nil, false
+			}
+			for k := range ps {
+				out[k] = true
+			}
+		}
+		return out, true
+	case *ast.CallExpr:
+		// conversions (int64(n)) are transparent.
+		if tv, ok := in.TypesInfo.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return fi.sizeParams(e.Args[0], depth+1)
+		}
+		if fn := CalleeFunc(in.TypesInfo, e); fn != nil && FuncID(fn) == bufferLenID {
+			return fi.bufParams(ReceiverExpr(in.TypesInfo, e), depth+1)
+		}
+	}
+	return nil, false
+}
+
+// bufParams roots a buffer expression's LENGTH in the parameters: nil
+// buffers carry no bytes, parameter buffers are bounded by themselves, and
+// allocator/view results (BufLen facts) are bounded by their size argument.
+func (fi *FuncInfo) bufParams(e ast.Expr, depth int) (map[int]bool, bool) {
+	if e == nil || depth > 8 {
+		return nil, false
+	}
+	e = ast.Unparen(e)
+	in := fi.info
+	if tv, ok := in.TypesInfo.Types[e]; ok && tv.IsNil() {
+		return map[int]bool{}, true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := in.TypesInfo.ObjectOf(e).(*types.Var)
+		if !ok {
+			return nil, false
+		}
+		out := map[int]bool{}
+		idx, isParam := fi.ParamIndex(v)
+		if isParam {
+			out[idx] = true
+		}
+		ds := fi.defs[v]
+		if !isParam && len(ds) == 0 {
+			return nil, false
+		}
+		for _, d := range ds {
+			if d.RHS == nil {
+				continue // parameter binding, or zero-value decl (nil carries no bytes)
+			}
+			if d.Range || d.Augmented {
+				return nil, false
+			}
+			ps, ok := fi.bufParams(d.RHS, depth+1)
+			if !ok {
+				return nil, false
+			}
+			for k := range ps {
+				out[k] = true
+			}
+		}
+		return out, true
+	case *ast.CallExpr:
+		if fn := CalleeFunc(in.TypesInfo, e); fn != nil {
+			if bl := in.FactFor(fn).BufLen; len(bl) == 1 {
+				return fi.sizeParams(CallArg(in.TypesInfo, e, bl[0]), depth+1)
+			}
+		}
+	}
+	return nil, false
+}

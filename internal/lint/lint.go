@@ -101,6 +101,7 @@ var Analyzers = []*Analyzer{
 	ConfineAnalyzer,
 	AtomicFieldAnalyzer,
 	BracketAnalyzer,
+	PhasesafeAnalyzer,
 }
 
 // ByName returns the registered analyzer with that name, or nil.

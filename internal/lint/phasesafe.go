@@ -1,0 +1,867 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hierknem/internal/lint/flow"
+)
+
+// PhasesafeAnalyzer proves node-phase confinement: every call inside an
+// EnterNodePhase/ExitNodePhase region must be statically unable to violate
+// the promise the bracket makes (see internal/mpi/confine.go) — no sends to
+// communicators not proved intra-node, no wildcard receives on them, no
+// Split, no direct fabric flows, and no payload that reaches the eager
+// threshold / fabric bypass cutoff the runtime guards enforce.
+//
+// The proof composes three layers:
+//
+//   - Axioms at the communication API boundary (flow/confinefacts.go) state
+//     each primitive's obligations: which arguments must be intra-node
+//     communicators, which sizes must stay under flow.ConfineCutoff.
+//
+//   - Interprocedural summaries (Fact.MayCrossNodeSend &c., computed to a
+//     fixed point over the call graph) either root those obligations in a
+//     callee's parameters — so the call site inherits them — or collapse
+//     them into May* bits when no parameter bounds them.
+//
+//   - A lexical region walk (modeled on the bracket analyzer) discharges
+//     the obligations from the bracket's own guard: the shipped idiom
+//     `bracket := p.PhaseEligible(c, n); if bracket { p.EnterNodePhase() }`
+//     proves c intra-node and n under the cutoff for the whole region, and
+//     `x == nil || p.PhaseEligible(c, x.Len())` proves x's length bounded
+//     (nil carries no bytes). An unconditional bracket in an unexported
+//     function borrows the intersection of its in-package call sites'
+//     guards; in an exported function it is unprovable and reported.
+//
+// A region whose every call is discharged is recorded as a RegionFact in
+// the package's hierflow fact set; the driver assembles those into the
+// guard-elision manifest the runtime consumes (HIERKNEM_GUARDS=elide).
+// Everything here under-approximates: a provably safe finding takes
+// //lint:ignore phasesafe <reason>.
+var PhasesafeAnalyzer = &Analyzer{
+	Name:    "phasesafe",
+	Doc:     "proves EnterNodePhase/ExitNodePhase regions unable to violate node-phase confinement; reports the offending call chain otherwise",
+	Applies: internalOnly,
+	Run:     runPhasesafe,
+}
+
+const (
+	phaseEligibleID = "(*hierknem/internal/mpi.Proc).PhaseEligible"
+	enterPhaseID    = "(*hierknem/internal/mpi.Proc).EnterNodePhase"
+	exitPhaseID     = "(*hierknem/internal/mpi.Proc).ExitNodePhase"
+	commSplitID     = "(*hierknem/internal/mpi.Comm).Split"
+	bbWaitID        = "(*hierknem/internal/mpi.Comm).BBWait"
+	bufLenID        = "(*hierknem/internal/buffer.Buffer).Len"
+)
+
+func runPhasesafe(pass *Pass) {
+	if pass.Pkg.Variant != "" {
+		return // proofs (and elision) are per plain package; test variants add no regions
+	}
+	for _, fi := range pass.Flow.Funcs {
+		if fi.Decl == nil || fi.Decl.Body == nil {
+			continue
+		}
+		w := &psChecker{pass: pass, fi: fi}
+		w.stmts(fi.Decl.Body.List)
+		if w.deferExit {
+			for _, r := range w.open {
+				w.record(r)
+			}
+		}
+		// Without a deferred exit, a still-open region is a bracket
+		// imbalance — the bracket analyzer reports it; nothing is recorded.
+	}
+}
+
+// regionCtx is what one region's guard has proved, keyed by the source form
+// (types.ExprString) of the proved expression: communicators proved
+// intra-node, int expressions proved under the cutoff, and buffers whose
+// length is proved under the cutoff (or that are proved nil).
+type regionCtx struct {
+	comms map[string]bool
+	sizes map[string]bool
+	bufs  map[string]bool
+}
+
+func newRegionCtx() *regionCtx {
+	return &regionCtx{comms: map[string]bool{}, sizes: map[string]bool{}, bufs: map[string]bool{}}
+}
+
+// psRegion is one open bracket: the enter call, what its guard proved, and
+// the checker's report count at entry (unchanged at exit = region proved).
+type psRegion struct {
+	enter *ast.CallExpr
+	ctx   *regionCtx
+	mark  int
+}
+
+// psChecker walks one function body, mirroring the bracket analyzer's
+// lexical abstract interpretation, and checks every call made while a
+// region is open against the innermost region's proved context.
+type psChecker struct {
+	pass      *Pass
+	fi        *flow.FuncInfo
+	open      []psRegion
+	deferExit bool
+	reports   int
+
+	seeds     *regionCtx // call-site seeds for unconditional brackets
+	seedsDone bool
+}
+
+func (w *psChecker) reportf(pos token.Pos, format string, args ...any) {
+	w.reports++
+	w.pass.Reportf(pos, format, args...)
+}
+
+// ctx returns the innermost open region's context, or nil outside regions.
+func (w *psChecker) ctx() *regionCtx {
+	if len(w.open) == 0 {
+		return nil
+	}
+	return w.open[len(w.open)-1].ctx
+}
+
+func (w *psChecker) record(r psRegion) {
+	if w.reports > r.mark {
+		return // something inside was reported: not proved
+	}
+	pos := w.pass.Fset().Position(r.enter.Pos())
+	w.pass.Flow.Own.Regions = append(w.pass.Flow.Own.Regions, flow.RegionFact{
+		Func: flow.RuntimeFuncName(w.fi.Obj),
+		File: pos.Filename,
+		Line: pos.Line,
+	})
+}
+
+func (w *psChecker) stmts(list []ast.Stmt) {
+	for _, stmt := range list {
+		if c, _, enter, ok := guardedBracket(stmt); ok {
+			if enter {
+				ctx := newRegionCtx()
+				w.seedGuardIn(w.fi, ctx, stmt.(*ast.IfStmt).Cond, 0)
+				w.open = append(w.open, psRegion{enter: c, ctx: ctx, mark: w.reports})
+			} else {
+				w.pop()
+			}
+			continue
+		}
+		if c, enter, ok := bracketCall(stmt); ok {
+			if enter {
+				w.open = append(w.open, psRegion{enter: c, ctx: w.callSiteSeeds(c), mark: w.reports})
+			} else {
+				w.pop()
+			}
+			continue
+		}
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if sel, ok := ast.Unparen(s.Call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "ExitNodePhase" {
+				w.deferExit = true
+				continue
+			}
+			w.inspect(s)
+		case *ast.IfStmt:
+			w.inspect(s.Init)
+			w.inspect(s.Cond)
+			w.branch(s.Body.List)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				w.branch(e.List)
+			case *ast.IfStmt:
+				w.branch([]ast.Stmt{e})
+			}
+		case *ast.ForStmt:
+			w.inspect(s.Init)
+			w.inspect(s.Cond)
+			w.inspect(s.Post)
+			w.branch(s.Body.List)
+		case *ast.RangeStmt:
+			w.inspect(s.X)
+			w.branch(s.Body.List)
+		case *ast.SwitchStmt:
+			w.inspect(s.Init)
+			w.inspect(s.Tag)
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					for _, e := range cl.List {
+						w.inspect(e)
+					}
+					w.branch(cl.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			w.inspect(s.Init)
+			w.inspect(s.Assign)
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CaseClause); ok {
+					w.branch(cl.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if cl, ok := cc.(*ast.CommClause); ok {
+					w.branch(cl.Body)
+				}
+			}
+		case *ast.BlockStmt:
+			w.stmts(s.List)
+		case *ast.LabeledStmt:
+			w.stmts([]ast.Stmt{s.Stmt})
+		default:
+			w.inspect(stmt)
+		}
+	}
+}
+
+// branch walks nested control flow; regions that both open and close inside
+// it are recorded by pop, and the entry state is restored afterwards (the
+// bracket analyzer reports any imbalance).
+func (w *psChecker) branch(list []ast.Stmt) {
+	saved := append([]psRegion(nil), w.open...)
+	w.stmts(list)
+	w.open = saved
+}
+
+func (w *psChecker) pop() {
+	if len(w.open) == 0 {
+		return // bracket analyzer reports the unmatched exit
+	}
+	top := w.open[len(w.open)-1]
+	w.open = w.open[:len(w.open)-1]
+	w.record(top)
+}
+
+// callSiteSeeds builds the proved context of an unconditional bracket from
+// the function's in-package call sites: what every enclosing caller guard
+// proves about the arguments, translated to parameter names and intersected
+// across sites. Exported functions have invisible callers, so nothing is
+// provable and the enter itself is reported.
+func (w *psChecker) callSiteSeeds(c *ast.CallExpr) *regionCtx {
+	if w.fi.Obj.Exported() {
+		w.reportf(c.Pos(),
+			"unconditional EnterNodePhase in exported function %s: call-site guards outside the package are invisible to the proof",
+			w.fi.Obj.Name())
+		return newRegionCtx()
+	}
+	if w.seedsDone {
+		return w.seeds
+	}
+	w.seedsDone = true
+	params := paramNames(w.fi.Decl)
+	var acc *regionCtx
+	for _, caller := range w.pass.Flow.Funcs {
+		if caller == w.fi || caller.Decl == nil {
+			continue
+		}
+		for _, call := range caller.Calls {
+			if call.Callee != w.fi.Obj {
+				continue
+			}
+			site := newRegionCtx()
+			for _, cond := range enclosingConds(caller.Decl, call.Expr.Pos()) {
+				w.seedGuardIn(caller, site, cond, 0)
+			}
+			tr := w.translateSeeds(caller, site, call.Expr, params)
+			if acc == nil {
+				acc = tr
+			} else {
+				acc = intersectCtx(acc, tr)
+			}
+		}
+	}
+	if acc == nil {
+		acc = newRegionCtx() // no call sites: nothing proved
+	}
+	w.seeds = acc
+	return acc
+}
+
+// translateSeeds maps what a call site's guards prove about the argument
+// expressions onto the callee's parameter names, including field paths
+// (caller-proved "hy.LComm" where the argument is "hy" seeds "hy.LComm"
+// under the callee's name for that parameter).
+func (w *psChecker) translateSeeds(caller *flow.FuncInfo, site *regionCtx, call *ast.CallExpr, params []string) *regionCtx {
+	out := newRegionCtx()
+	for j, name := range params {
+		if name == "" || j >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[j]
+		argStr := types.ExprString(ast.Unparen(arg))
+		if w.provenCommIn(caller, site, arg, 0) {
+			out.comms[name] = true
+		}
+		if ok, _, _ := w.boundedBufIn(caller, site, arg, 0); ok {
+			out.bufs[name] = true
+		}
+		if ok, _, _ := w.boundedSizeIn(caller, site, arg, 0); ok {
+			out.sizes[name] = true
+		}
+		for s := range site.comms {
+			if strings.HasPrefix(s, argStr+".") {
+				out.comms[name+s[len(argStr):]] = true
+			}
+		}
+		for s := range site.sizes {
+			if strings.HasPrefix(s, argStr+".") {
+				out.sizes[name+s[len(argStr):]] = true
+			}
+		}
+		for s := range site.bufs {
+			if strings.HasPrefix(s, argStr+".") {
+				out.bufs[name+s[len(argStr):]] = true
+			}
+		}
+	}
+	return out
+}
+
+// enclosingConds collects the conditions of every if statement whose then
+// branch lexically contains pos — the guards known true at that call site.
+func enclosingConds(fd *ast.FuncDecl, pos token.Pos) []ast.Expr {
+	var conds []ast.Expr
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if is, ok := n.(*ast.IfStmt); ok && is.Body.Pos() <= pos && pos < is.Body.End() {
+			conds = append(conds, is.Cond)
+		}
+		return true
+	})
+	return conds
+}
+
+func paramNames(fd *ast.FuncDecl) []string {
+	var names []string
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			names = append(names, "")
+			continue
+		}
+		for _, n := range f.Names {
+			names = append(names, n.Name)
+		}
+	}
+	return names
+}
+
+func intersectCtx(a, b *regionCtx) *regionCtx {
+	out := newRegionCtx()
+	for k := range a.comms {
+		if b.comms[k] {
+			out.comms[k] = true
+		}
+	}
+	for k := range a.sizes {
+		if b.sizes[k] {
+			out.sizes[k] = true
+		}
+	}
+	for k := range a.bufs {
+		if b.bufs[k] {
+			out.bufs[k] = true
+		}
+	}
+	return out
+}
+
+// seedGuardIn interprets one guard condition known true: conjunctions seed
+// both sides, PhaseEligible(c, n) proves c intra-node and n (and n's buffer
+// root) bounded, a guard variable seeds through its single definition, and
+// the nil-tolerant disjunction `x == nil || p.PhaseEligible(c, x.Len())`
+// proves only x bounded (the communicator may be unchecked on the nil arm).
+func (w *psChecker) seedGuardIn(fi *flow.FuncInfo, ctx *regionCtx, cond ast.Expr, depth int) {
+	if cond == nil || depth > 8 {
+		return
+	}
+	info := w.pass.Info()
+	cond = ast.Unparen(cond)
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			w.seedGuardIn(fi, ctx, e.X, depth+1)
+			w.seedGuardIn(fi, ctx, e.Y, depth+1)
+		case token.LOR:
+			if b := w.nilComparand(e.X); b != nil && w.phaseEligibleBounds(e.Y, b) {
+				ctx.bufs[types.ExprString(b)] = true
+			}
+		}
+	case *ast.Ident:
+		v, ok := w.pass.ObjectOf(e).(*types.Var)
+		if !ok {
+			return
+		}
+		ds := fi.DefsBefore(v, e.Pos())
+		if len(ds) == 1 && ds[0].RHS != nil && !ds[0].Range && !ds[0].Augmented {
+			w.seedGuardIn(fi, ctx, ds[0].RHS, depth+1)
+		}
+	case *ast.CallExpr:
+		fn := flow.CalleeFunc(info, e)
+		if fn == nil || flow.FuncID(fn) != phaseEligibleID || len(e.Args) != 2 {
+			return
+		}
+		w.markComm(fi, ctx, e.Args[0], depth)
+		w.markSize(fi, ctx, e.Args[1], depth)
+	}
+}
+
+// markComm records e (and, through single definitions, what it was assigned
+// from) as a proved intra-node communicator.
+func (w *psChecker) markComm(fi *flow.FuncInfo, ctx *regionCtx, e ast.Expr, depth int) {
+	if e == nil || depth > 8 {
+		return
+	}
+	e = ast.Unparen(e)
+	ctx.comms[types.ExprString(e)] = true
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := w.pass.ObjectOf(id).(*types.Var); ok {
+			ds := fi.DefsBefore(v, id.Pos())
+			if len(ds) == 1 && ds[0].RHS != nil && !ds[0].Range && !ds[0].Augmented {
+				w.markComm(fi, ctx, ds[0].RHS, depth+1)
+			}
+		}
+	}
+}
+
+// markSize records a guard's size expression as bounded, closing over single
+// definitions, and roots X.Len() sizes in their buffer.
+func (w *psChecker) markSize(fi *flow.FuncInfo, ctx *regionCtx, e ast.Expr, depth int) {
+	if e == nil || depth > 8 {
+		return
+	}
+	e = ast.Unparen(e)
+	ctx.sizes[types.ExprString(e)] = true
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		info := w.pass.Info()
+		if fn := flow.CalleeFunc(info, x); fn != nil && flow.FuncID(fn) == bufLenID {
+			w.markBuf(fi, ctx, flow.ReceiverExpr(info, x), depth+1)
+		}
+	case *ast.Ident:
+		if v, ok := w.pass.ObjectOf(x).(*types.Var); ok {
+			ds := fi.DefsBefore(v, x.Pos())
+			if len(ds) == 1 && ds[0].RHS != nil && !ds[0].Range && !ds[0].Augmented {
+				w.markSize(fi, ctx, ds[0].RHS, depth+1)
+			}
+		}
+	}
+}
+
+func (w *psChecker) markBuf(fi *flow.FuncInfo, ctx *regionCtx, e ast.Expr, depth int) {
+	if e == nil || depth > 8 {
+		return
+	}
+	e = ast.Unparen(e)
+	ctx.bufs[types.ExprString(e)] = true
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := w.pass.ObjectOf(id).(*types.Var); ok {
+			ds := fi.DefsBefore(v, id.Pos())
+			if len(ds) == 1 && ds[0].RHS != nil && !ds[0].Range && !ds[0].Augmented {
+				w.markBuf(fi, ctx, ds[0].RHS, depth+1)
+			}
+		}
+	}
+}
+
+// nilComparand matches `x == nil` (either side) and returns x.
+func (w *psChecker) nilComparand(e ast.Expr) ast.Expr {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return nil
+	}
+	info := w.pass.Info()
+	if tv, ok := info.Types[b.Y]; ok && tv.IsNil() {
+		return ast.Unparen(b.X)
+	}
+	if tv, ok := info.Types[b.X]; ok && tv.IsNil() {
+		return ast.Unparen(b.Y)
+	}
+	return nil
+}
+
+// phaseEligibleBounds matches `p.PhaseEligible(c, b.Len())` for the given b.
+func (w *psChecker) phaseEligibleBounds(e, b ast.Expr) bool {
+	info := w.pass.Info()
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn := flow.CalleeFunc(info, call); fn == nil || flow.FuncID(fn) != phaseEligibleID {
+		return false
+	}
+	lenCall, ok := ast.Unparen(call.Args[1]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := flow.CalleeFunc(info, lenCall)
+	if fn == nil || flow.FuncID(fn) != bufLenID {
+		return false
+	}
+	recv := flow.ReceiverExpr(info, lenCall)
+	return recv != nil && types.ExprString(ast.Unparen(recv)) == types.ExprString(b)
+}
+
+// inspect checks every call lexically under n against the innermost open
+// region. Function literals are opaque to the lexical walk and reported.
+func (w *psChecker) inspect(n ast.Node) {
+	if n == nil || w.ctx() == nil {
+		return
+	}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			w.reportf(x.Pos(), "function literal inside a node phase cannot be proved node-confined; hoist it above the bracket")
+			return false
+		case *ast.CallExpr:
+			w.checkCall(x)
+		}
+		return true
+	})
+}
+
+func (w *psChecker) checkCall(call *ast.CallExpr) {
+	info := w.pass.Info()
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	fn := flow.CalleeFunc(info, call)
+	if fn == nil {
+		w.reportf(call.Pos(), "indirect call inside a node phase cannot be proved node-confined")
+		return
+	}
+	id := flow.FuncID(fn)
+	if id == enterPhaseID || id == exitPhaseID || id == phaseEligibleID {
+		return
+	}
+	cf := w.pass.Flow.FactFor(fn)
+	name := w.shortFuncName(fn)
+	ctx := w.ctx()
+
+	if cf.MaySplit {
+		if id == commSplitID {
+			w.reportf(call.Pos(),
+				"call to %s inside a node phase: Split rebuilds communicator membership and is never node-confined", name)
+		} else {
+			w.reportf(call.Pos(), "call to %s inside a node phase can split a communicator%s",
+				name, w.chain(fn, func(f flow.Fact) bool { return f.MaySplit }))
+		}
+	}
+	if cf.MayFabricTouch {
+		w.reportf(call.Pos(), "call to %s inside a node phase can start a fabric flow; fabric state is global-domain%s",
+			name, w.chain(fn, func(f flow.Fact) bool { return f.MayFabricTouch }))
+	}
+	if cf.MayCrossNodeSend {
+		w.reportf(call.Pos(), "call to %s inside a node phase can send to a communicator not proved intra-node%s",
+			name, w.chainComm(fn))
+	}
+	if cf.MayWildcardRecvMultiNode {
+		w.reportf(call.Pos(), "call to %s inside a node phase can post a wildcard receive on a communicator not proved intra-node%s",
+			name, w.chainComm(fn))
+	}
+	if cf.MaySendSizeUnbounded {
+		w.reportf(call.Pos(), "call to %s inside a node phase can move a payload not proved under the eager/fabric cutoff (%d)%s",
+			name, flow.ConfineCutoff, w.chainSize(fn))
+	}
+	for _, j := range cf.ConfineComms {
+		arg := flow.CallArg(info, call, j)
+		if arg == nil || w.provenCommIn(w.fi, ctx, arg, 0) {
+			continue
+		}
+		if wildcardAt(info, call, cf) {
+			w.reportf(call.Pos(),
+				"call to %s inside a node phase: wildcard receive on communicator %q not proved intra-node%s",
+				name, types.ExprString(ast.Unparen(arg)), w.chainComm(fn))
+		} else {
+			w.reportf(call.Pos(),
+				"call to %s inside a node phase: communicator argument %q is not proved intra-node%s",
+				name, types.ExprString(ast.Unparen(arg)), w.chainComm(fn))
+		}
+	}
+	for _, j := range cf.ConfineSizes {
+		arg := flow.CallArg(info, call, j)
+		if arg == nil {
+			continue
+		}
+		var ok, over bool
+		var ov int64
+		if tv, found := info.Types[arg]; found && flow.IsBuffer(tv.Type) {
+			ok, ov, over = w.boundedBufIn(w.fi, ctx, arg, 0)
+		} else {
+			ok, ov, over = w.boundedSizeIn(w.fi, ctx, arg, 0)
+		}
+		if ok {
+			continue
+		}
+		if over {
+			w.reportf(call.Pos(),
+				"call to %s inside a node phase: payload of %d bytes reaches the eager/fabric cutoff (%d)",
+				name, ov, flow.ConfineCutoff)
+		} else {
+			w.reportf(call.Pos(),
+				"call to %s inside a node phase: size %q is not proved under the eager/fabric cutoff (%d)%s",
+				name, types.ExprString(ast.Unparen(arg)), flow.ConfineCutoff, w.chainSize(fn))
+		}
+	}
+}
+
+// wildcardAt reports whether the call passes a literal wildcard (AnySource)
+// in one of the callee's wildcard source positions — report flavoring only;
+// proving the communicator intra-node discharges the obligation either way.
+func wildcardAt(info *types.Info, call *ast.CallExpr, cf flow.Fact) bool {
+	for _, j := range cf.WildcardParams {
+		if arg := flow.CallArg(info, call, j); arg != nil {
+			if v, ok := flow.ConstInt(info, arg); ok && v < 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// provenCommIn reports whether e is proved intra-node under ctx: its source
+// form was proved by a guard, or it is a variable whose every definition is.
+func (w *psChecker) provenCommIn(fi *flow.FuncInfo, ctx *regionCtx, e ast.Expr, depth int) bool {
+	if e == nil || depth > 8 {
+		return false
+	}
+	e = ast.Unparen(e)
+	if ctx.comms[types.ExprString(e)] {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := w.pass.ObjectOf(id).(*types.Var)
+	if !ok {
+		return false
+	}
+	ds := fi.DefsBefore(v, id.Pos())
+	if len(ds) == 0 {
+		return false
+	}
+	for _, d := range ds {
+		if d.RHS == nil || d.Range || d.Augmented {
+			return false // parameter binding or zero-value: not proved
+		}
+		if !w.provenCommIn(fi, ctx, d.RHS, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// boundedSizeIn reports whether an int expression is proved under the
+// cutoff. over=true with the value means a compile-time constant at or above
+// the cutoff — a definite violation rather than a proof gap.
+func (w *psChecker) boundedSizeIn(fi *flow.FuncInfo, ctx *regionCtx, e ast.Expr, depth int) (ok bool, ov int64, over bool) {
+	if e == nil || depth > 8 {
+		return false, 0, false
+	}
+	e = ast.Unparen(e)
+	info := w.pass.Info()
+	if v, isConst := flow.ConstInt(info, e); isConst {
+		if v >= 0 && v < flow.ConfineCutoff {
+			return true, 0, false
+		}
+		return false, v, true
+	}
+	if ctx.sizes[types.ExprString(e)] {
+		return true, 0, false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, isVar := w.pass.ObjectOf(x).(*types.Var)
+		if !isVar {
+			return false, 0, false
+		}
+		ds := fi.DefsBefore(v, x.Pos())
+		if len(ds) == 0 {
+			return false, 0, false
+		}
+		for _, d := range ds {
+			if d.RHS == nil {
+				if _, isParam := fi.ParamIndex(v); isParam {
+					return false, 0, false
+				}
+				continue // zero-value declaration: 0 is bounded
+			}
+			if d.Range || d.Augmented {
+				return false, 0, false
+			}
+			dok, dov, dover := w.boundedSizeIn(fi, ctx, d.RHS, depth+1)
+			if !dok {
+				return false, dov, dover
+			}
+		}
+		return true, 0, false
+	case *ast.CallExpr:
+		if tv, found := info.Types[x.Fun]; found && tv.IsType() && len(x.Args) == 1 {
+			return w.boundedSizeIn(fi, ctx, x.Args[0], depth+1)
+		}
+		if fn := flow.CalleeFunc(info, x); fn != nil && flow.FuncID(fn) == bufLenID {
+			return w.boundedBufIn(fi, ctx, flow.ReceiverExpr(info, x), depth+1)
+		}
+	}
+	return false, 0, false
+}
+
+// boundedBufIn reports whether a buffer expression's length is proved under
+// the cutoff: nil literals, guard-proved buffers, variables whose every
+// definition is proved, allocator/view results bounded by their size
+// argument, and fields of a blackboard record fetched from a proved
+// communicator (posted by a node member whose own bracket proved them —
+// brackets are collective, so the poster ran the same guard).
+func (w *psChecker) boundedBufIn(fi *flow.FuncInfo, ctx *regionCtx, e ast.Expr, depth int) (ok bool, ov int64, over bool) {
+	if e == nil || depth > 8 {
+		return false, 0, false
+	}
+	e = ast.Unparen(e)
+	info := w.pass.Info()
+	if tv, found := info.Types[e]; found && tv.IsNil() {
+		return true, 0, false
+	}
+	if ctx.bufs[types.ExprString(e)] {
+		return true, 0, false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, isVar := w.pass.ObjectOf(x).(*types.Var)
+		if !isVar {
+			return false, 0, false
+		}
+		ds := fi.DefsBefore(v, x.Pos())
+		if len(ds) == 0 {
+			return false, 0, false
+		}
+		for _, d := range ds {
+			if d.RHS == nil {
+				if _, isParam := fi.ParamIndex(v); isParam {
+					return false, 0, false
+				}
+				continue // zero-value declaration: nil carries no bytes
+			}
+			if d.Range || d.Augmented {
+				return false, 0, false
+			}
+			dok, dov, dover := w.boundedBufIn(fi, ctx, d.RHS, depth+1)
+			if !dok {
+				return false, dov, dover
+			}
+		}
+		return true, 0, false
+	case *ast.CallExpr:
+		if fn := flow.CalleeFunc(info, x); fn != nil {
+			if bl := w.pass.Flow.FactFor(fn).BufLen; len(bl) == 1 {
+				return w.boundedSizeIn(fi, ctx, flow.CallArg(info, x, bl[0]), depth+1)
+			}
+		}
+	case *ast.SelectorExpr:
+		if w.bbTrusted(fi, ctx, x, depth) {
+			return true, 0, false
+		}
+	}
+	return false, 0, false
+}
+
+// bbTrusted recognizes sh.buf where every definition of sh is a type
+// assertion over BBWait on a proved intra-node communicator.
+func (w *psChecker) bbTrusted(fi *flow.FuncInfo, ctx *regionCtx, sel *ast.SelectorExpr, depth int) bool {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := w.pass.ObjectOf(id).(*types.Var)
+	if !ok {
+		return false
+	}
+	ds := fi.DefsBefore(v, id.Pos())
+	if len(ds) == 0 {
+		return false
+	}
+	info := w.pass.Info()
+	for _, d := range ds {
+		ta, ok := d.RHS.(*ast.TypeAssertExpr)
+		if !ok {
+			return false
+		}
+		call, ok := ast.Unparen(ta.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := flow.CalleeFunc(info, call)
+		if fn == nil || flow.FuncID(fn) != bbWaitID {
+			return false
+		}
+		if !w.provenCommIn(fi, ctx, flow.ReceiverExpr(info, call), depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// chain reconstructs the call path from fn down to the primitive that makes
+// the predicate hold, for the "(via a → b)" suffix of a report.
+func (w *psChecker) chain(fn *types.Func, pred func(flow.Fact) bool) string {
+	var parts []string
+	cur := fn
+	for i := 0; i < 4; i++ {
+		fi := w.pass.Flow.FuncOf(cur)
+		if fi == nil {
+			break // crossed a package boundary: the name itself is the root
+		}
+		var next *types.Func
+		for _, c := range fi.Calls {
+			if c.Callee != nil && pred(w.pass.Flow.FactFor(c.Callee)) {
+				next = c.Callee
+				break
+			}
+		}
+		if next == nil {
+			break
+		}
+		parts = append(parts, w.shortFuncName(next))
+		cur = next
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (via " + strings.Join(parts, " → ") + ")"
+}
+
+func (w *psChecker) chainComm(fn *types.Func) string {
+	return w.chain(fn, func(f flow.Fact) bool {
+		return len(f.ConfineComms) > 0 || f.MayCrossNodeSend || f.MayWildcardRecvMultiNode
+	})
+}
+
+func (w *psChecker) chainSize(fn *types.Func) string {
+	return w.chain(fn, func(f flow.Fact) bool {
+		return len(f.ConfineSizes) > 0 || f.MaySendSizeUnbounded
+	})
+}
+
+// shortFuncName trims module noise from a function name for reports: own
+// package functions keep their bare name, everything else drops the
+// "hierknem/internal/" prefix.
+func (w *psChecker) shortFuncName(fn *types.Func) string {
+	full := fn.FullName()
+	if fn.Pkg() == w.pass.Types() {
+		if trimmed := strings.TrimPrefix(full, fn.Pkg().Path()+"."); trimmed != full {
+			return trimmed
+		}
+	}
+	return strings.ReplaceAll(full, "hierknem/internal/", "")
+}

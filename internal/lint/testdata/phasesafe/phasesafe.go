@@ -1,0 +1,117 @@
+// Package phasesafe exercises the phasesafe analyzer: calls inside
+// EnterNodePhase/ExitNodePhase regions that cannot be proved node-confined
+// fire, guard-proven regions stay silent, and violations buried behind call
+// chains are reported with the offending path.
+package phasesafe
+
+import (
+	"hierknem/internal/buffer"
+	"hierknem/internal/mpi"
+)
+
+// crossSend: an unconditional bracket in an unexported function with no
+// callers proves nothing, so the in-region send's communicator is unproven.
+func crossSend(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer) {
+	p.EnterNodePhase()
+	p.Send(c, buf.Slice(0, 512), 1, 7) // want `communicator argument "c" is not proved intra-node`
+	p.ExitNodePhase()
+}
+
+// wildcardRecv: a wildcard receive flavors the unproven-communicator report.
+func wildcardRecv(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer) {
+	p.EnterNodePhase()
+	p.Recv(c, buf.Slice(0, 512), mpi.AnySource, 7) // want `wildcard receive on communicator "c" not proved intra-node`
+	p.ExitNodePhase()
+}
+
+// splitInPhase: Split is never node-confined, proved guard or not.
+func splitInPhase(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer) {
+	bracket := p.PhaseEligible(c, buf.Len())
+	if bracket {
+		p.EnterNodePhase()
+	}
+	sub := c.Split(p, 0, 0) // want `Split rebuilds communicator membership and is never node-confined`
+	_ = sub
+	if bracket {
+		p.ExitNodePhase()
+	}
+}
+
+// oversized: a compile-time payload at or above the cutoff is a definite
+// violation even though the communicator is guard-proven.
+func oversized(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer) {
+	bracket := p.PhaseEligible(c, buf.Len())
+	if bracket {
+		p.EnterNodePhase()
+	}
+	p.Send(c, buf.Slice(0, 8192), 0, 7) // want `payload of 8192 bytes reaches the eager/fabric cutoff \(4096\)`
+	if bracket {
+		p.ExitNodePhase()
+	}
+}
+
+// relayOnce/relayTwice bury a send two calls deep: the interprocedural
+// summary roots the communicator obligation in the parameter chain, so the
+// region check fires at the outer call with the full path.
+func relayOnce(p *mpi.Proc, d *mpi.Comm, buf *buffer.Buffer) {
+	p.Send(d, buf, 0, 7)
+}
+
+func relayTwice(p *mpi.Proc, d *mpi.Comm, buf *buffer.Buffer) {
+	relayOnce(p, d, buf)
+}
+
+func chained(p *mpi.Proc, c, d *mpi.Comm, buf *buffer.Buffer) {
+	bracket := p.PhaseEligible(c, buf.Len())
+	if bracket {
+		p.EnterNodePhase()
+	}
+	relayTwice(p, d, buf) // want `communicator argument "d" is not proved intra-node \(via relayOnce → \(\*mpi.Proc\).Send\)`
+	if bracket {
+		p.ExitNodePhase()
+	}
+}
+
+// Exported: an unconditional bracket in an exported function has invisible
+// call sites, so nothing is provable inside it.
+func Exported(p *mpi.Proc, c *mpi.Comm) {
+	p.EnterNodePhase() // want `unconditional EnterNodePhase in exported function Exported`
+	c.Barrier(p)       // want `communicator argument "c" is not proved intra-node`
+	p.ExitNodePhase()
+}
+
+// proven: the shipped guard idiom discharges every obligation — sends and
+// receives on the guarded communicator with the guarded buffer, intra-node
+// barriers — so the region is recorded and the analyzer stays silent.
+func proven(p *mpi.Proc, c *mpi.Comm, buf *buffer.Buffer) {
+	bracket := p.PhaseEligible(c, buf.Len())
+	if bracket {
+		p.EnterNodePhase()
+	}
+	p.Send(c, buf, 1, 7)
+	p.Recv(c, buf, 2, 7)
+	c.Barrier(p)
+	if bracket {
+		p.ExitNodePhase()
+	}
+}
+
+// wrap mirrors the hierarchy struct: a guard proved on a field path
+// ("hy.LComm") at the call site must translate into the callee.
+type wrap struct{ LComm *mpi.Comm }
+
+// fanout's bracket is unconditional; its only in-package call site guards
+// the call, and the intersection of call-site guards proves the region.
+func fanout(p *mpi.Proc, hy *wrap, buf *buffer.Buffer) {
+	lcomm := hy.LComm
+	p.EnterNodePhase()
+	p.Send(lcomm, buf, 1, 7)
+	lcomm.Barrier(p)
+	p.ExitNodePhase()
+}
+
+func caller(p *mpi.Proc, hy *wrap, buf *buffer.Buffer) {
+	if p.PhaseEligible(hy.LComm, buf.Len()) {
+		fanout(p, hy, buf)
+	}
+}

@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"hierknem/internal/des"
 )
 
@@ -31,7 +29,15 @@ import (
 
 // EnterNodePhase declares that this rank, until ExitNodePhase, communicates
 // only within its own node. Node phases may not nest.
+//
+// Under GuardElided the entry resolves its caller against the phasesafe
+// manifest's proved regions: a proved caller runs the phase with the
+// per-message guards off (see guards.go), any other caller keeps them.
 func (p *Proc) EnterNodePhase() {
+	if p.world.elideRegion() {
+		p.elide = true
+		p.world.elidedPhases.Add(1)
+	}
 	p.dp.EnterConfined(int32(p.core.NodeID) + 1)
 }
 
@@ -40,6 +46,7 @@ func (p *Proc) EnterNodePhase() {
 // what lets a parallel window retire completely before the rank rejoins
 // global-domain traffic.
 func (p *Proc) ExitNodePhase() {
+	p.elide = false
 	p.dp.ExitConfined(p.world.Machine.Spec.NetLatency)
 }
 
@@ -65,16 +72,22 @@ func (p *Proc) PhaseEligible(c *Comm, n int64) bool {
 // destination must share the sender's node and the payload must stay under
 // both the eager threshold and the fabric bypass cutoff (larger copies
 // install fabric flows, which are global-domain state).
+// Inside a manifest-proved region (p.elide) both checks return
+// immediately: the static proof already discharged them, and they are pure
+// assertions with no virtual-time effect, so skipping them cannot change
+// the event log.
 func (p *Proc) confineCheckSend(target *Proc, size int64) {
-	if !p.dp.Confined() {
+	if p.elide || !p.dp.Confined() {
 		return
 	}
 	if target.core.NodeID != p.core.NodeID {
 		panic(&des.CausalityError{Op: des.OpConfine, Domain: int32(target.core.NodeID) + 1, At: p.dp.Now()})
 	}
 	if size >= p.world.Conf.EagerThreshold || size >= smallCopyCutoff {
-		panic(fmt.Sprintf("mpi: rank %d sent %d bytes inside a node phase; node-phase messages must stay under the eager threshold (%d) and the fabric bypass cutoff (%d)",
-			p.rank, size, p.world.Conf.EagerThreshold, smallCopyCutoff))
+		// Same typed error as the cross-node case: an oversized confined
+		// send couples the rank to global-domain fabric state, and callers
+		// (tests, the PDES harness) key on Op rather than message text.
+		panic(&des.CausalityError{Op: des.OpConfine, Domain: int32(p.core.NodeID) + 1, At: p.dp.Now()})
 	}
 }
 
@@ -82,7 +95,7 @@ func (p *Proc) confineCheckSend(target *Proc, size int64) {
 // must be a rank of the sender's node, or a wildcard on a communicator
 // confined to this node.
 func (p *Proc) confineCheckRecv(c *Comm, srcWorld int) {
-	if !p.dp.Confined() {
+	if p.elide || !p.dp.Confined() {
 		return
 	}
 	if srcWorld == AnySource {

@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"hierknem/internal/phasesafe"
+	"hierknem/internal/shm"
+)
+
+// Guard elision.
+//
+// The per-message confinement guards (confineCheckSend/confineCheckRecv)
+// are pure assertions: they never advance virtual time, never schedule an
+// event, and never touch simulation state — they only turn a broken
+// bracket promise into an immediate panic. That makes them safe to skip
+// exactly where a static proof already discharges them: the phasesafe
+// analyzer (internal/lint) proves, per EnterNodePhase region, that every
+// reachable message stays on-node and under the fabric-bypass cutoff, and
+// hierlint -manifest serializes the proved regions with content hashes of
+// everything the proof read (see internal/phasesafe).
+//
+// GuardElided is opt-in (HIERKNEM_GUARDS=elide or SetGuardMode) and
+// fail-closed: a missing, corrupt or stale manifest refuses elision with a
+// loud error rather than quietly running unguarded, the sanitizer
+// (HIERSAN=1) forces checked mode because it wants every assertion live,
+// and regions the manifest does not name keep their guards even under
+// elide. Elision is therefore unobservable in the event log by
+// construction — it removes assertions, not effects.
+
+// GuardMode selects whether the per-message confinement guards run inside
+// statically proved node-phase regions.
+type GuardMode int
+
+const (
+	// GuardChecked runs every confinement guard (the default).
+	GuardChecked GuardMode = iota
+	// GuardElided skips the per-message guards inside regions named by a
+	// valid phasesafe manifest; everywhere else guards stay live.
+	GuardElided
+)
+
+func (m GuardMode) String() string {
+	if m == GuardElided {
+		return "elided"
+	}
+	return "checked"
+}
+
+// guardsEnv reads the HIERKNEM_GUARDS mode toggle. Unset and "checked"
+// keep the default; "elide" requests elision (NewWorld then insists on a
+// valid manifest). Anything else errors loudly, mirroring workersEnv.
+func guardsEnv() (GuardMode, error) {
+	switch s := os.Getenv("HIERKNEM_GUARDS"); s {
+	case "", "checked":
+		return GuardChecked, nil
+	case "elide":
+		return GuardElided, nil
+	default:
+		return GuardChecked, fmt.Errorf("mpi: HIERKNEM_GUARDS=%q is not a guard mode (use \"checked\" or \"elide\")", s)
+	}
+}
+
+// guardManifests caches successfully validated manifests per path for the
+// life of the process (every NewWorld would otherwise re-hash the source
+// tree). Failures are never cached: a test or operator can fix the
+// manifest and retry without restarting.
+//
+//lint:ignore runisolation mutex-guarded content-addressed cache of immutable validated manifests; deliberately process-wide, like an environment read, so concurrent worlds share the one proof
+var guardManifests struct {
+	mu sync.Mutex
+	m  map[string]*phasesafe.Manifest
+}
+
+// loadGuardManifest resolves, loads and freshness-checks the phasesafe
+// manifest for the current module.
+func loadGuardManifest() (*phasesafe.Manifest, error) {
+	root, err := phasesafe.ModuleRoot("")
+	if err != nil {
+		return nil, err
+	}
+	path := phasesafe.Path(root)
+	guardManifests.mu.Lock()
+	defer guardManifests.mu.Unlock()
+	if man, ok := guardManifests.m[path]; ok {
+		return man, nil
+	}
+	man, err := phasesafe.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := man.Validate(root); err != nil {
+		return nil, err
+	}
+	if guardManifests.m == nil {
+		guardManifests.m = map[string]*phasesafe.Manifest{}
+	}
+	guardManifests.m[path] = man
+	return man, nil
+}
+
+// SetGuardMode switches the world's guard mode. Requesting GuardElided
+// loads and validates the phasesafe manifest and refuses — with an error,
+// never a silent downgrade of the proof — when the manifest is missing,
+// corrupt or stale, or when the world's configuration falls outside the
+// proof's bounds (an eager threshold below the proof's size bound would
+// let a checked run panic where an elided run sails on). With the
+// sanitizer attached the world stays in checked mode: HIERSAN exists to
+// run every assertion, so it overrides elision silently rather than
+// erroring (the combination is legitimate in CI matrices).
+func (w *World) SetGuardMode(m GuardMode) error {
+	if m != GuardElided {
+		w.guardMode = GuardChecked
+		w.guardRegions = nil
+		return nil
+	}
+	if w.san != nil {
+		w.guardMode = GuardChecked
+		w.guardRegions = nil
+		return nil
+	}
+	man, err := loadGuardManifest()
+	if err != nil {
+		return fmt.Errorf("mpi: cannot elide confinement guards: %w", err)
+	}
+	if man.Cutoff != shm.SmallCopyCutoff {
+		return fmt.Errorf("mpi: cannot elide confinement guards: manifest proved cutoff %d, runtime uses %d",
+			man.Cutoff, int64(shm.SmallCopyCutoff))
+	}
+	if w.Conf.EagerThreshold < man.MinEager {
+		return fmt.Errorf("mpi: cannot elide confinement guards: eager threshold %d is below the proof's bound %d",
+			w.Conf.EagerThreshold, man.MinEager)
+	}
+	regions := make(map[string]bool, len(man.Regions))
+	for _, r := range man.Regions {
+		regions[r.Func] = true
+	}
+	w.guardMode = GuardElided
+	w.guardRegions = regions
+	return nil
+}
+
+// GuardMode returns the world's guard mode.
+func (w *World) GuardMode() GuardMode { return w.guardMode }
+
+// ElidedPhases returns how many node-phase entries actually skipped their
+// guards — the observability hook tests use to prove elision engaged (a
+// world that "elides" zero regions is just checked mode with extra steps).
+func (w *World) ElidedPhases() int64 { return w.elidedPhases.Load() }
+
+// pcFuncs memoizes return-PC -> runtime function name, process-wide: the
+// mapping is a property of the loaded binary (one PC is one call site,
+// inlining resolved by CallersFrames), independent of any world or guard
+// mode, and resolving it fresh allocates. RWMutex with uintptr keys keeps
+// the hot read path box-free; writes happen once per distinct
+// EnterNodePhase call site per process.
+//
+//lint:ignore runisolation memoized PC->symbol-name table derived from the immutable loaded binary; identical for every concurrently running simulation
+var pcFuncs struct {
+	sync.RWMutex
+	m map[uintptr]string
+}
+
+// callerFunc resolves the runtime name of the function that called the
+// exported runtime entry point two frames above this call.
+func callerFunc() string {
+	var pcs [1]uintptr
+	if runtime.Callers(4, pcs[:]) < 1 {
+		return ""
+	}
+	pc := pcs[0]
+	pcFuncs.RLock()
+	name, ok := pcFuncs.m[pc]
+	pcFuncs.RUnlock()
+	if ok {
+		return name
+	}
+	// Miss path only: CallersFrames retains its slice, so hand it a fresh
+	// one rather than pcs (which would push pcs — and an allocation — onto
+	// every hit).
+	frames := runtime.CallersFrames([]uintptr{pc})
+	frame, _ := frames.Next()
+	pcFuncs.Lock()
+	if pcFuncs.m == nil {
+		pcFuncs.m = map[uintptr]string{}
+	}
+	pcFuncs.m[pc] = frame.Function
+	pcFuncs.Unlock()
+	return frame.Function
+}
+
+// elideRegion reports whether the EnterNodePhase call two frames up sits
+// in a manifest-proved function — the manifest records exactly the runtime
+// name callerFunc resolves.
+func (w *World) elideRegion() bool {
+	if w.guardMode != GuardElided {
+		return false
+	}
+	return w.guardRegions[callerFunc()]
+}

@@ -1,0 +1,221 @@
+// Package phasesafe defines the guard-elision manifest: the artifact by
+// which the static phasesafe analyzer (internal/lint) hands its
+// whole-program confinement proof to the runtime (internal/mpi).
+//
+// The analyzer proves, per EnterNodePhase/ExitNodePhase region, that every
+// message the region can emit stays on the executing node and under the
+// fabric-bypass cutoff. hierlint -manifest serializes the proved regions —
+// along with content hashes of every source file the proof depends on —
+// into a manifest file. At startup under HIERKNEM_GUARDS=elide the runtime
+// loads the manifest, re-hashes the recorded sources, and only if every
+// hash still matches does it skip the per-message confinement guards inside
+// the named regions. Any drift (edited file, missing manifest, tampered
+// entry) falls back loudly to checked mode: the proof is only as good as
+// its staleness rule.
+//
+// This package deliberately imports neither the linter nor the runtime, so
+// both can depend on it.
+package phasesafe
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Schema identifies the manifest layout; loaders reject anything else.
+const Schema = "hierknem/phasesafe/v1"
+
+// EnvPath overrides where the runtime looks for the manifest.
+const EnvPath = "HIERKNEM_GUARD_MANIFEST"
+
+// Region names one proved EnterNodePhase/ExitNodePhase region by the
+// runtime name of its enclosing function (the format runtime.CallersFrames
+// reports, e.g. "hierknem/internal/core.(*Module).bcastSmall") plus the
+// bracket's source position for human consumption.
+type Region struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// Manifest is the proof artifact. Regions lists every proved bracket;
+// Sources maps module-relative file paths to sha256 hex digests of their
+// content at proof time — the region files themselves plus the runtime
+// guard surface the proof reasons about. MinEager is the smallest eager
+// threshold the proof is valid for and Cutoff the shared-memory copy cutoff
+// it assumed; the runtime refuses to elide under a configuration outside
+// those bounds. Hash is a self-hash over the canonical encoding of
+// everything else, so a truncated or hand-edited manifest never validates.
+type Manifest struct {
+	Schema   string            `json:"schema"`
+	Module   string            `json:"module"`
+	MinEager int64             `json:"minEager"`
+	Cutoff   int64             `json:"cutoff"`
+	Regions  []Region          `json:"regions"`
+	Sources  map[string]string `json:"sources"`
+	Hash     string            `json:"hash"`
+}
+
+// Normalize sorts Regions so encoding is deterministic regardless of the
+// order the driver collected them in (map iteration over Sources is handled
+// by encoding/json, which sorts object keys).
+func (m *Manifest) Normalize() {
+	sort.Slice(m.Regions, func(i, j int) bool {
+		a, b := m.Regions[i], m.Regions[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+}
+
+// ComputeHash returns the self-hash: sha256 over the canonical JSON
+// encoding of the manifest with Hash cleared.
+func (m *Manifest) ComputeHash() string {
+	cp := *m
+	cp.Hash = ""
+	cp.Normalize()
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		// Marshal of this struct cannot fail; keep the signature simple.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashFile returns the sha256 hex digest of a file's content.
+func HashFile(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Write normalizes, stamps the self-hash and persists atomically (write to
+// a temp file in the target directory, then rename).
+func (m *Manifest) Write(path string) error {
+	m.Normalize()
+	m.Hash = m.ComputeHash()
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "manifest-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Load reads a manifest and checks its schema and self-hash. It does NOT
+// check source freshness — that is Validate, which needs the module root.
+func Load(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("phasesafe manifest %s: %v", path, err)
+	}
+	if m.Schema != Schema {
+		return nil, fmt.Errorf("phasesafe manifest %s: schema %q, want %q", path, m.Schema, Schema)
+	}
+	if got := m.ComputeHash(); got != m.Hash {
+		return nil, fmt.Errorf("phasesafe manifest %s: self-hash mismatch (corrupt or hand-edited)", path)
+	}
+	return &m, nil
+}
+
+// Validate re-hashes every recorded source file under root and fails on the
+// first drift: a proof over yesterday's sources says nothing about today's
+// build, so staleness is an error, never a warning.
+func (m *Manifest) Validate(root string) error {
+	// Deterministic error selection: check files in sorted order.
+	files := make([]string, 0, len(m.Sources))
+	for f := range m.Sources {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		got, err := HashFile(filepath.Join(root, filepath.FromSlash(f)))
+		if err != nil {
+			return fmt.Errorf("phasesafe manifest: source %s: %v", f, err)
+		}
+		if got != m.Sources[f] {
+			return fmt.Errorf("phasesafe manifest is stale: %s changed since the proof was emitted (re-run hierlint -manifest)", f)
+		}
+	}
+	return nil
+}
+
+// DefaultPath is where hierlint writes the manifest and where the runtime
+// looks first: alongside the analysis cache, under the module root.
+func DefaultPath(root string) string {
+	return filepath.Join(root, ".hierlint-cache", "phasesafe.manifest")
+}
+
+// Path resolves the manifest location for a module rooted at root, honoring
+// the HIERKNEM_GUARD_MANIFEST override.
+func Path(root string) string {
+	if p := os.Getenv(EnvPath); p != "" {
+		return p
+	}
+	return DefaultPath(root)
+}
+
+// ModuleRoot walks up from dir (or the working directory if dir is empty)
+// to the nearest go.mod, the anchor for manifest-relative source paths.
+func ModuleRoot(dir string) (string, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return "", err
+		}
+		dir = wd
+	}
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("phasesafe: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,206 @@
+// Guard-elision gates: HIERKNEM_GUARDS=elide must (a) engage only under a
+// fresh phasesafe manifest, (b) actually skip guards inside proved regions
+// (ElidedPhases > 0), (c) commit event logs hex-identical to the guarded
+// serial reference across the full bracketed-personality surface and every
+// worker count — elision removes assertions, not effects — and (d) refuse
+// loudly on a stale, corrupt or missing manifest, on configurations outside
+// the proof's bounds, and defer to HIERSAN. See docs/STATIC_ANALYSIS.md
+// (phasesafe) and DESIGN.md §5.7.
+package hierknem_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"hierknem"
+	"hierknem/internal/lint"
+	"hierknem/internal/phasesafe"
+)
+
+var (
+	manifestOnce sync.Once
+	manifestErr  error
+)
+
+// ensureManifest guarantees a fresh, valid phasesafe manifest at the
+// default path (reusing one a prior bench.sh/CI step emitted when its
+// source hashes still match; re-running the analysis suite otherwise).
+// Shared by the elision tests, the fuzz target's guard dimension and the
+// guards=elided bench variant.
+func ensureManifest(tb testing.TB) {
+	tb.Helper()
+	manifestOnce.Do(func() {
+		root, err := phasesafe.ModuleRoot("")
+		if err != nil {
+			manifestErr = err
+			return
+		}
+		path := phasesafe.DefaultPath(root)
+		if m, err := phasesafe.Load(path); err == nil && m.Validate(root) == nil {
+			return
+		}
+		if _, _, err := lint.Analyze(lint.Options{
+			Dir:          root,
+			CacheDir:     lint.DefaultCacheDir(root),
+			ManifestPath: path,
+		}); err != nil {
+			manifestErr = fmt.Errorf("regenerating phasesafe manifest: %v", err)
+			return
+		}
+		m, err := phasesafe.Load(path)
+		if err == nil {
+			err = m.Validate(root)
+		}
+		if err != nil {
+			manifestErr = fmt.Errorf("phasesafe manifest invalid after regeneration (does the tree have confinement findings?): %v", err)
+		}
+	})
+	if manifestErr != nil {
+		tb.Fatalf("ensureManifest: %v", manifestErr)
+	}
+}
+
+// elidedPersonalityLog mirrors personalityLog with guard elision switched
+// on through the environment (the path CI and operators use), asserting
+// the world really elided proved regions rather than silently running
+// checked.
+func elidedPersonalityLog(t *testing.T, mod hierknem.Module, workers int) []string {
+	t.Helper()
+	t.Setenv("HIERKNEM_GUARDS", "elide")
+	w, err := hierknem.NewWorldPPN(isoSpec(), isoPPN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.GuardMode(); got != hierknem.GuardElided {
+		t.Fatalf("HIERKNEM_GUARDS=elide built a %v world", got)
+	}
+	w.SetEngineMode(hierknem.EngineParallel)
+	if workers > 0 {
+		w.SetEngineWorkers(workers)
+	}
+	var log []string
+	smallCollectiveProg(w, mod, &log)
+	if w.ElidedPhases() == 0 {
+		t.Fatalf("%s at workers=%d elided no node phases — the manifest region names no longer match the runtime call sites", mod.Name(), workers)
+	}
+	return log
+}
+
+// TestGuardElisionHexIdentical is the elision soundness gate: for every
+// bracketed personality, the elided parallel engine must commit a log
+// hex-identical to the guarded serial reference at workers 1, 2, 4 and 8.
+func TestGuardElisionHexIdentical(t *testing.T) {
+	ensureManifest(t)
+	for _, mod := range phasedPersonalities() {
+		mod := mod
+		t.Run(mod.Name(), func(t *testing.T) {
+			want := personalityLog(t, mod, hierknem.EngineSerial, 0)
+			for _, workers := range []int{1, 2, 4, 8} {
+				got := elidedPersonalityLog(t, mod, workers)
+				diffLogs(t, fmt.Sprintf("%s/elided/workers=%d", mod.Name(), workers), want, got)
+			}
+		})
+	}
+}
+
+// TestGuardElideRefusals pins the fail-closed contract: every way the
+// proof can be invalid refuses elision with a loud error naming the cause,
+// and never silently downgrades to an unguarded run.
+func TestGuardElideRefusals(t *testing.T) {
+	ensureManifest(t)
+	root, err := phasesafe.ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newWorld := func(t *testing.T) (*hierknem.World, error) {
+		t.Helper()
+		return hierknem.NewWorldPPN(isoSpec(), isoPPN)
+	}
+
+	t.Run("stale manifest", func(t *testing.T) {
+		// Tamper a recorded source hash and re-stamp the self-hash: the
+		// manifest loads cleanly but Validate sees the drift.
+		m, err := phasesafe.Load(phasesafe.DefaultPath(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Sources["internal/mpi/confine.go"] = strings.Repeat("0", 64)
+		path := filepath.Join(t.TempDir(), "stale.manifest")
+		if err := m.Write(path); err != nil {
+			t.Fatal(err)
+		}
+		t.Setenv("HIERKNEM_GUARD_MANIFEST", path)
+		t.Setenv("HIERKNEM_GUARDS", "elide")
+		if _, err := newWorld(t); err == nil || !strings.Contains(err.Error(), "stale") {
+			t.Fatalf("stale manifest: got %v, want a stale-manifest refusal", err)
+		}
+	})
+
+	t.Run("corrupt manifest", func(t *testing.T) {
+		// Edit the serialized bytes without re-stamping: the self-hash
+		// check must reject before any region is trusted.
+		b, err := os.ReadFile(phasesafe.DefaultPath(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "corrupt.manifest")
+		if err := os.WriteFile(path, []byte(strings.Replace(string(b), "regions", "regionz", 1)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Setenv("HIERKNEM_GUARD_MANIFEST", path)
+		t.Setenv("HIERKNEM_GUARDS", "elide")
+		if _, err := newWorld(t); err == nil || !strings.Contains(err.Error(), "self-hash") {
+			t.Fatalf("corrupt manifest: got %v, want a self-hash refusal", err)
+		}
+	})
+
+	t.Run("missing manifest", func(t *testing.T) {
+		t.Setenv("HIERKNEM_GUARD_MANIFEST", filepath.Join(t.TempDir(), "nope.manifest"))
+		t.Setenv("HIERKNEM_GUARDS", "elide")
+		if _, err := newWorld(t); err == nil {
+			t.Fatal("missing manifest did not refuse elision")
+		}
+	})
+
+	t.Run("bad mode value", func(t *testing.T) {
+		t.Setenv("HIERKNEM_GUARDS", "fast")
+		if _, err := newWorld(t); err == nil || !strings.Contains(err.Error(), "HIERKNEM_GUARDS") {
+			t.Fatalf("HIERKNEM_GUARDS=fast: got %v, want a loud mode error", err)
+		}
+	})
+
+	t.Run("hiersan forces checked", func(t *testing.T) {
+		// The combination is legitimate (CI matrices): the sanitizer wins
+		// silently — a world, not an error, but with every guard live.
+		t.Setenv("HIERSAN", "1")
+		t.Setenv("HIERKNEM_GUARDS", "elide")
+		w, err := newWorld(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.GuardMode() != hierknem.GuardChecked {
+			t.Fatalf("HIERSAN=1 world runs guard mode %v, want checked", w.GuardMode())
+		}
+		if w.Sanitizer() == nil {
+			t.Fatal("HIERSAN=1 world has no sanitizer attached")
+		}
+	})
+
+	t.Run("checked is the default", func(t *testing.T) {
+		w, err := newWorld(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.GuardMode() != hierknem.GuardChecked {
+			t.Fatalf("default guard mode is %v, want checked", w.GuardMode())
+		}
+		if n := w.ElidedPhases(); n != 0 {
+			t.Fatalf("checked world reports %d elided phases", n)
+		}
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"hierknem"
+	"hierknem/internal/des"
 	"hierknem/internal/mpi"
 )
 
@@ -95,11 +96,13 @@ func TestNodePhaseHexIdenticalAcrossWorkers(t *testing.T) {
 }
 
 // TestNodePhaseConfinementEnforced pins the loud-failure contract: a
-// bracketed rank that reaches across its node gets a panic at the call
-// site, not a silent divergence. Every guard fires before any matching or
-// fabric state mutates, so the rank recovers in place and exits its phase
-// cleanly. The guards are mode-independent — this runs under the serial
-// engine and protects the parallel one.
+// bracketed rank that reaches across its node gets a typed
+// *des.CausalityError (Op "confine") at the call site, not a silent
+// divergence or an anonymous string panic — the PDES harness and the
+// guard-elision machinery both key on the type. Every guard fires before
+// any matching or fabric state mutates, so the rank recovers in place and
+// exits its phase cleanly. The guards are mode-independent — this runs
+// under the serial engine and protects the parallel one.
 func TestNodePhaseConfinementEnforced(t *testing.T) {
 	run := func(name string, body func(p *mpi.Proc, c *mpi.Comm)) {
 		t.Run(name, func(t *testing.T) {
@@ -107,7 +110,7 @@ func TestNodePhaseConfinementEnforced(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			panicked := false
+			var recovered interface{}
 			err = w.Run(func(p *mpi.Proc) {
 				if p.Rank() != 0 {
 					return
@@ -115,7 +118,7 @@ func TestNodePhaseConfinementEnforced(t *testing.T) {
 				c := w.WorldComm()
 				p.EnterNodePhase()
 				func() {
-					defer func() { panicked = recover() != nil }()
+					defer func() { recovered = recover() }()
 					body(p, c)
 				}()
 				p.ExitNodePhase()
@@ -123,8 +126,15 @@ func TestNodePhaseConfinementEnforced(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if !panicked {
+			if recovered == nil {
 				t.Fatalf("%s inside a node phase did not panic", name)
+			}
+			ce, ok := recovered.(*des.CausalityError)
+			if !ok {
+				t.Fatalf("%s panicked with %T (%v), want *des.CausalityError", name, recovered, recovered)
+			}
+			if ce.Op != des.OpConfine {
+				t.Fatalf("%s panicked with Op %q, want %q", name, ce.Op, des.OpConfine)
 			}
 		})
 	}

@@ -8,9 +8,15 @@
 #             runisolation, poolreturn, tagspace, bracket (balanced
 #             EnterNodePhase/ExitNodePhase collective brackets), plus the
 #             hierflow interprocedural PDES preconditions: vtmono, confine,
-#             atomicfield. Runs twice (cold-ish, then warm) and prints
-#             both timings so result-cache effectiveness stays visible;
-#             also gates that all eleven analyzers are registered.
+#             atomicfield, phasesafe (whole-program node-phase confinement
+#             proof). Runs twice (cold-ish, then warm) with -manifest so a
+#             clean tree emits the phasesafe guard-elision manifest, and
+#             prints both timings so result-cache effectiveness stays
+#             visible; also gates that all twelve analyzers are registered.
+#   elide     the guard-elision soundness gate: TestGuardElision* re-runs
+#             the bracketed-personality log comparisons with
+#             HIERKNEM_GUARDS=elide against the manifest hierlint just
+#             emitted, plus the fail-closed refusal matrix
 #   test      the full suite under the race detector
 #   pdes      the root conformance/equivalence/isolation suites rerun with
 #             HIERKNEM_ENGINE=parallel (every world on the conservative
@@ -41,20 +47,23 @@ go vet ./...
 
 echo "==> hierlint ./..."
 go build -o /tmp/hierlint.verify ./cmd/hierlint
-if [ "$(/tmp/hierlint.verify -list | wc -l)" -ne 11 ]; then
-  echo "hierlint: expected 11 registered analyzers" >&2
+if [ "$(/tmp/hierlint.verify -list | wc -l)" -ne 12 ]; then
+  echo "hierlint: expected 12 registered analyzers" >&2
   /tmp/hierlint.verify -list >&2
   exit 1
 fi
 t0=$(date +%s%N)
-/tmp/hierlint.verify ./...
+/tmp/hierlint.verify -manifest ./...
 t1=$(date +%s%N)
-/tmp/hierlint.verify ./...
+/tmp/hierlint.verify -manifest ./...
 t2=$(date +%s%N)
 echo "hierlint timing: first run $(( (t1 - t0) / 1000000 ))ms, warm-cache run $(( (t2 - t1) / 1000000 ))ms"
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> elide (guard elision: hex-identity + fail-closed refusals)"
+go test . -count=1 -run 'TestGuardElision|TestGuardElideRefusals'
 
 echo "==> pdes (HIERKNEM_ENGINE=parallel conformance + equivalence + isolation, GOMAXPROCS matrix)"
 for procs in 1 4; do
